@@ -1,0 +1,365 @@
+// Benchmarks: one per table/figure of the paper's evaluation, driving
+// the LIVE dataplane (real goroutines, rings, copies and merges) so
+// regressions in the infrastructure are visible, plus the ablation
+// benches listed in DESIGN.md §5. The analytic figure reproduction
+// lives in cmd/nfpbench; these measure this repository's actual code.
+//
+// Run: go test -bench=. -benchmem
+package nfp_test
+
+import (
+	"net/netip"
+	"runtime"
+	"testing"
+
+	"nfp/internal/baseline/onvm"
+	"nfp/internal/baseline/rtc"
+	"nfp/internal/cluster"
+	"nfp/internal/core"
+	"nfp/internal/dataplane"
+	"nfp/internal/graph"
+	"nfp/internal/nf"
+	"nfp/internal/nfa"
+	"nfp/internal/packet"
+	"nfp/internal/policy"
+)
+
+// benchSpec is the 64B-class packet used by the paper's latency runs.
+func benchSpec(i int, payload string) packet.BuildSpec {
+	return packet.BuildSpec{
+		SrcIP:   netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(1 + i%250)}),
+		DstIP:   netip.MustParseAddr("10.100.0.1"),
+		Proto:   packet.ProtoTCP,
+		SrcPort: uint16(1024 + i%512), DstPort: 80,
+		Payload: []byte(payload),
+	}
+}
+
+// pump pushes b.N packets through a started server and waits for all
+// outputs/drops, freeing outputs as they arrive.
+func pump(b *testing.B, inject func(*packet.Packet) bool, pool interface {
+	Get() *packet.Packet
+}, out <-chan *packet.Packet, stop func(), payload string) {
+	b.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p := range out {
+			p.Free()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := pool.Get()
+		for pkt == nil {
+			runtime.Gosched()
+			pkt = pool.Get()
+		}
+		packet.BuildInto(pkt, benchSpec(i, payload))
+		if !inject(pkt) {
+			b.Fatal("inject failed")
+		}
+	}
+	stop()
+	b.StopTimer()
+	<-done
+}
+
+// benchNFPGraph measures per-packet cost of a graph on the dataplane.
+func benchNFPGraph(b *testing.B, g graph.Node, payload string) {
+	srv := dataplane.New(dataplane.Config{PoolSize: 2048, Mergers: 2})
+	if err := srv.AddGraph(1, g); err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	pump(b, srv.Inject, srv.Pool(), srv.Output(), srv.Stop, payload)
+}
+
+func benchONVM(b *testing.B, chain []string, payload string) {
+	srv, err := onvm.New(onvm.Config{PoolSize: 2048}, chain...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	inject := func(p *packet.Packet) bool { srv.Inject(p); return true }
+	pump(b, inject, srv.Pool(), srv.Output(), srv.Stop, payload)
+}
+
+func benchRTC(b *testing.B, chain []string, replicas int, payload string) {
+	srv, err := rtc.New(rtc.Config{PoolSize: 2048, Replicas: replicas}, chain...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	inject := func(p *packet.Packet) bool { srv.Inject(p); return true }
+	pump(b, inject, srv.Pool(), srv.Output(), srv.Stop, payload)
+}
+
+func fwChain(n int) []string {
+	c := make([]string, n)
+	for i := range c {
+		c[i] = nfa.NFFirewall
+	}
+	return c
+}
+
+func parGraph(name string, n int, copies bool) graph.Node {
+	if n == 1 {
+		return graph.NF{Name: name}
+	}
+	branches := make([]graph.Node, n)
+	var groups [][]int
+	for i := range branches {
+		branches[i] = graph.NF{Name: name, Instance: i}
+		if copies {
+			groups = append(groups, []int{i})
+		}
+	}
+	p := graph.Par{Branches: branches, Groups: groups}
+	if copies {
+		p.FullCopy = make([]bool, n)
+	}
+	return p
+}
+
+func seqGraph(name string, n int) graph.Node {
+	items := make([]graph.Node, n)
+	for i := range items {
+		items[i] = graph.NF{Name: name, Instance: i}
+	}
+	if n == 1 {
+		return items[0]
+	}
+	return graph.Seq{Items: items}
+}
+
+// --- Table 4: firewall chains on the three platforms ---
+
+func BenchmarkTable4_NFP_Len1(b *testing.B) {
+	benchNFPGraph(b, parGraph(nfa.NFFirewall, 1, false), "x")
+}
+func BenchmarkTable4_NFP_Len2(b *testing.B) {
+	benchNFPGraph(b, parGraph(nfa.NFFirewall, 2, false), "x")
+}
+func BenchmarkTable4_NFP_Len3(b *testing.B) {
+	benchNFPGraph(b, parGraph(nfa.NFFirewall, 3, false), "x")
+}
+func BenchmarkTable4_ONVM_Len1(b *testing.B) { benchONVM(b, fwChain(1), "x") }
+func BenchmarkTable4_ONVM_Len3(b *testing.B) { benchONVM(b, fwChain(3), "x") }
+func BenchmarkTable4_BESS_Len1(b *testing.B) { benchRTC(b, fwChain(1), 1, "x") }
+func BenchmarkTable4_BESS_Len3(b *testing.B) { benchRTC(b, fwChain(3), 1, "x") }
+
+// --- Figure 7: sequential forwarder chains ---
+
+func BenchmarkFig7_NFP_SeqChain1(b *testing.B) { benchNFPGraph(b, seqGraph(nfa.NFL3Fwd, 1), "x") }
+func BenchmarkFig7_NFP_SeqChain5(b *testing.B) { benchNFPGraph(b, seqGraph(nfa.NFL3Fwd, 5), "x") }
+func BenchmarkFig7_ONVM_Chain5(b *testing.B) {
+	benchONVM(b, []string{nfa.NFL3Fwd, nfa.NFL3Fwd, nfa.NFL3Fwd, nfa.NFL3Fwd, nfa.NFL3Fwd}, "x")
+}
+
+// --- Figure 8: per-NF-type sequential vs parallel ---
+
+func BenchmarkFig8_Forwarder_Seq(b *testing.B) { benchNFPGraph(b, seqGraph(nfa.NFL3Fwd, 2), "x") }
+func BenchmarkFig8_Forwarder_Par(b *testing.B) {
+	benchNFPGraph(b, parGraph(nfa.NFL3Fwd, 2, false), "x")
+}
+func BenchmarkFig8_Firewall_Seq(b *testing.B) { benchNFPGraph(b, seqGraph(nfa.NFFirewall, 2), "x") }
+func BenchmarkFig8_Firewall_Par(b *testing.B) {
+	benchNFPGraph(b, parGraph(nfa.NFFirewall, 2, false), "x")
+}
+func BenchmarkFig8_Monitor_Par(b *testing.B) {
+	benchNFPGraph(b, parGraph(nfa.NFMonitor, 2, false), "x")
+}
+func BenchmarkFig8_IDS_Seq(b *testing.B) {
+	benchNFPGraph(b, seqGraph(nfa.NFNIDS, 2), "benign payload for signature scanning")
+}
+func BenchmarkFig8_IDS_Par(b *testing.B) {
+	benchNFPGraph(b, parGraph(nfa.NFNIDS, 2, false), "benign payload for signature scanning")
+}
+func BenchmarkFig8_VPN_Seq(b *testing.B) {
+	benchNFPGraph(b, graph.NF{Name: nfa.NFVPN}, "payload-to-encrypt")
+}
+
+// --- Figure 9: synthetic NF complexity (live busy loops) ---
+
+func benchSynthetic(b *testing.B, cycles, degree int, seq bool) {
+	reg := nf.NewRegistry()
+	reg.MustRegister(nfa.NFSynthetic, func() (nf.NF, error) { return nf.NewSynthetic(cycles), nil })
+	var g graph.Node
+	if seq {
+		g = seqGraph(nfa.NFSynthetic, degree)
+	} else {
+		g = parGraph(nfa.NFSynthetic, degree, false)
+	}
+	srv := dataplane.New(dataplane.Config{PoolSize: 2048, Mergers: 2, Registry: reg})
+	if err := srv.AddGraph(1, g); err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	pump(b, srv.Inject, srv.Pool(), srv.Output(), srv.Stop, "x")
+}
+
+func BenchmarkFig9_Cycles300_Seq(b *testing.B)  { benchSynthetic(b, 300, 2, true) }
+func BenchmarkFig9_Cycles300_Par(b *testing.B)  { benchSynthetic(b, 300, 2, false) }
+func BenchmarkFig9_Cycles3000_Seq(b *testing.B) { benchSynthetic(b, 3000, 2, true) }
+func BenchmarkFig9_Cycles3000_Par(b *testing.B) { benchSynthetic(b, 3000, 2, false) }
+
+// --- Figure 11: parallelism degree ---
+
+func BenchmarkFig11_Degree2(b *testing.B) { benchSynthetic(b, 300, 2, false) }
+func BenchmarkFig11_Degree5(b *testing.B) { benchSynthetic(b, 300, 5, false) }
+
+// --- Figure 12: graph structures (the two extremes) ---
+
+func BenchmarkFig12_Graph2_AllParallel(b *testing.B) {
+	benchNFPGraph(b, parGraph(nfa.NFFirewall, 4, false), "x")
+}
+func BenchmarkFig12_Graph1_Sequential(b *testing.B) {
+	benchNFPGraph(b, seqGraph(nfa.NFFirewall, 4), "x")
+}
+
+// --- Figure 13: the real-world chains, orchestrator-compiled ---
+
+func benchCompiled(b *testing.B, chain []string, payload string) {
+	res, err := core.Compile(policy.FromChain(chain...), nil, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNFPGraph(b, res.Graph, payload)
+}
+
+func BenchmarkFig13_NorthSouth(b *testing.B) {
+	benchCompiled(b, []string{nfa.NFVPN, nfa.NFMonitor, nfa.NFFirewall, nfa.NFLB}, "north-south payload")
+}
+func BenchmarkFig13_WestEast(b *testing.B) {
+	benchCompiled(b, []string{nfa.NFIDS, nfa.NFMonitor, nfa.NFLB}, "west-east payload")
+}
+
+// --- §6.3.3: merger load balancing ---
+
+func benchMergers(b *testing.B, mergers int) {
+	srv := dataplane.New(dataplane.Config{PoolSize: 2048, Mergers: mergers})
+	if err := srv.AddGraph(1, parGraph(nfa.NFMonitor, 2, false)); err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	pump(b, srv.Inject, srv.Pool(), srv.Output(), srv.Stop, "x")
+}
+
+func BenchmarkMergerLoadBalance_1Instance(b *testing.B)  { benchMergers(b, 1) }
+func BenchmarkMergerLoadBalance_2Instances(b *testing.B) { benchMergers(b, 2) }
+func BenchmarkMergerLoadBalance_4Instances(b *testing.B) { benchMergers(b, 4) }
+
+// --- Ablations (DESIGN.md §5) ---
+
+// Distributed NF runtime vs centralized switch on the same chain.
+func BenchmarkAblation_DistributedRuntime(b *testing.B) {
+	benchNFPGraph(b, seqGraph(nfa.NFL3Fwd, 3), "x")
+}
+func BenchmarkAblation_CentralSwitch(b *testing.B) {
+	benchONVM(b, []string{nfa.NFL3Fwd, nfa.NFL3Fwd, nfa.NFL3Fwd}, "x")
+}
+
+// Header-only vs full copies for a 2-wide copied stage.
+func BenchmarkAblation_HeaderOnlyCopy(b *testing.B) {
+	benchNFPGraph(b, parGraph(nfa.NFMonitor, 2, true), "some longer payload that a full copy would duplicate per packet")
+}
+func BenchmarkAblation_FullCopy(b *testing.B) {
+	g := parGraph(nfa.NFMonitor, 2, true).(graph.Par)
+	g.FullCopy = []bool{false, true}
+	benchNFPGraph(b, g, "some longer payload that a full copy would duplicate per packet")
+}
+
+// Dirty Memory Reusing on/off: the west-east stage with and without a
+// shared original copy.
+func BenchmarkAblation_DirtyReuse_On(b *testing.B) {
+	res, err := core.Compile(policy.FromChain(nfa.NFIDS, nfa.NFMonitor, nfa.NFLB), nil, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNFPGraph(b, res.Graph, "p")
+}
+func BenchmarkAblation_DirtyReuse_Off(b *testing.B) {
+	opts := core.Options{}
+	opts.Analysis.DisableDirtyMemoryReusing = true
+	res, err := core.Compile(policy.FromChain(nfa.NFIDS, nfa.NFMonitor, nfa.NFLB), nil, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNFPGraph(b, res.Graph, "p")
+}
+
+// MO-based merging vs the §5.3 strawman (keep a pristine copy and XOR
+// to discover modified bits). Packet-level microbenchmark.
+func BenchmarkAblation_MergeOps(b *testing.B) {
+	base := packet.Build(benchSpec(0, "merge operand payload"))
+	mod := packet.Build(benchSpec(0, "merge operand payload"))
+	mod.SetSrcIP(netip.MustParseAddr("10.100.0.1"))
+	mod.Meta.Version = 2
+	op := graph.MergeOp{
+		Kind: graph.OpModify, SrcVersion: 2,
+		SrcField: packet.FieldSrcIP, DstField: packet.FieldSrcIP,
+	}
+	_ = op
+	src := mod.FieldBytes(packet.FieldSrcIP)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, _ := base.FieldRange(packet.FieldSrcIP)
+		copy(base.Buffer()[r.Off:r.Off+r.Len], src)
+	}
+}
+
+func BenchmarkAblation_XORMergeStrawman(b *testing.B) {
+	orig := packet.Build(benchSpec(0, "merge operand payload"))
+	mod := packet.Build(benchSpec(0, "merge operand payload"))
+	mod.SetSrcIP(netip.MustParseAddr("10.100.0.1"))
+	base := packet.Build(benchSpec(0, "merge operand payload"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The strawman scans the whole packet to find modified bits —
+		// and needs the extra pristine copy the paper objects to.
+		ob, mb, bb := orig.Bytes(), mod.Bytes(), base.Bytes()
+		for j := range ob {
+			if d := ob[j] ^ mb[j]; d != 0 {
+				bb[j] ^= d
+			}
+		}
+	}
+}
+
+// --- §7 cross-server scaling ---
+
+// benchCluster measures per-packet cost of the north-south graph
+// partitioned across two servers with an in-memory NSH link.
+func BenchmarkCluster_TwoServers(b *testing.B) {
+	res, err := core.Compile(policy.FromChain(nfa.NFVPN, nfa.NFMonitor, nfa.NFFirewall, nfa.NFLB), nil, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := cluster.New(res.Graph, cluster.Config{Capacity: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		b.Fatal(err)
+	}
+	pump(b, c.Inject, c.Pool(), c.Output(), c.Stop, "cross-server")
+}
+
+func BenchmarkCluster_SingleServerReference(b *testing.B) {
+	res, err := core.Compile(policy.FromChain(nfa.NFVPN, nfa.NFMonitor, nfa.NFFirewall, nfa.NFLB), nil, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNFPGraph(b, res.Graph, "cross-server")
+}

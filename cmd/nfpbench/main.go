@@ -1,0 +1,43 @@
+// nfpbench regenerates the tables and figures of the paper's
+// evaluation (§6). Each experiment prints the reproduced series next
+// to the paper's reported numbers.
+//
+// Usage:
+//
+//	nfpbench -exp all            # every experiment (model only)
+//	nfpbench -exp fig9           # one experiment
+//	nfpbench -exp all -live      # include live-dataplane validation
+//	nfpbench -exp all -markdown  # emit markdown (EXPERIMENTS.md body)
+//
+// Experiments: pairs, table4, fig7, fig8, fig9, fig11, fig12, fig13,
+// overhead, merger, live, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nfp/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (pairs, table4, fig7..fig13, overhead, merger, live, all)")
+	live := flag.Bool("live", false, "also run the live dataplane validation experiments")
+	markdown := flag.Bool("markdown", false, "emit markdown instead of aligned text")
+	flag.Parse()
+
+	tables := experiments.ByID(*exp, *live)
+	if tables == nil {
+		fmt.Fprintf(os.Stderr, "nfpbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, t := range tables {
+		if *markdown {
+			t.Markdown(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+}

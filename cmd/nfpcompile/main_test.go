@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadPolicyChain(t *testing.T) {
+	pol, err := loadPolicy("", "ids, monitor ,lb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pol.Rules) != 2 {
+		t.Errorf("rules = %v", pol.Rules)
+	}
+}
+
+func TestLoadPolicyErrors(t *testing.T) {
+	if _, err := loadPolicy("", ""); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := loadPolicy("x", "y"); err == nil {
+		t.Error("both inputs accepted")
+	}
+	if _, err := loadPolicy("", "no-such-nf"); err == nil {
+		t.Error("unknown NF accepted")
+	}
+	if _, err := loadPolicy("/does/not/exist.pol", ""); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadPolicyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.pol")
+	if err := os.WriteFile(path, []byte("Order(monitor, before, lb)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := loadPolicy(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pol.Rules) != 1 {
+		t.Errorf("rules = %v", pol.Rules)
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	if _, err := parseSizes("dc"); err != nil {
+		t.Errorf("dc: %v", err)
+	}
+	d, err := parseSizes("128")
+	if err != nil || d.Next() != 128 {
+		t.Errorf("fixed: %v", err)
+	}
+	for _, bad := range []string{"", "abc", "10", "9000"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestLoadPolicyVariants(t *testing.T) {
+	pol, names, err := loadPolicy("", "monitor,firewall")
+	if err != nil || len(names) != 2 || len(pol.Rules) != 1 {
+		t.Errorf("chain: %v %v %v", pol, names, err)
+	}
+	if _, _, err := loadPolicy("", ""); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, _, err := loadPolicy("", "bogus-nf"); err == nil {
+		t.Error("unknown NF accepted")
+	}
+}

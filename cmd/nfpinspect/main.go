@@ -1,0 +1,57 @@
+// nfpinspect is the NF action inspector of §5.4: it statically analyzes
+// an NF's Go source, derives its action profile (the NF's Table 2 row),
+// and optionally diffs it against the declared catalog profile.
+//
+// Usage:
+//
+//	nfpinspect -name monitor internal/nf/monitor.go
+//	nfpinspect -name lb -diff internal/nf/lb.go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nfp/internal/inspector"
+	"nfp/internal/nfa"
+)
+
+func main() {
+	name := flag.String("name", "", "NF type name for the generated profile")
+	diff := flag.Bool("diff", false, "compare against the declared catalog profile")
+	flag.Parse()
+
+	if *name == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: nfpinspect -name NF [-diff] file.go")
+		os.Exit(2)
+	}
+	prof, err := inspector.InspectFile(*name, flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nfpinspect: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("inspected profile: %s\n", prof)
+	fmt.Println("actions:")
+	for _, a := range prof.Actions {
+		fmt.Printf("  %s\n", a)
+	}
+
+	if *diff {
+		declared, ok := nfa.LookupProfile(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nfpinspect: no catalog profile named %q to diff against\n", *name)
+			os.Exit(1)
+		}
+		diffs := inspector.Diff(declared, prof)
+		if len(diffs) == 0 {
+			fmt.Println("\ncatalog profile is consistent with the code")
+			return
+		}
+		fmt.Println("\ndiscrepancies:")
+		for _, d := range diffs {
+			fmt.Printf("  %s\n", d)
+		}
+		os.Exit(1)
+	}
+}

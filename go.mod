@@ -1,0 +1,3 @@
+module nfp
+
+go 1.22

@@ -1,0 +1,118 @@
+// Package ahocorasick implements the Aho-Corasick multi-pattern string
+// matching automaton used by the IDS NF's signature matching engine
+// ("a simple NF similar to the core signature matching component of the
+// Snort intrusion detection system", §6.1).
+//
+// The automaton is built once from the rule set (control plane) and
+// matched per packet with no allocation (fast path).
+package ahocorasick
+
+// Matcher is an immutable Aho-Corasick automaton over byte patterns.
+type Matcher struct {
+	// Dense goto table: states × 256 transitions. For the rule-set
+	// sizes an IDS carries (hundreds of signatures) this stays small
+	// and makes matching a tight loop.
+	next [][256]int32
+	// out[s] lists the pattern indices that end at state s (including
+	// via suffix links).
+	out [][]int32
+	// patterns kept for length lookups when reporting matches.
+	lens []int
+}
+
+// New builds an automaton from the given patterns. Empty patterns are
+// ignored. Pattern indices in match callbacks refer to positions in
+// this slice.
+func New(patterns [][]byte) *Matcher {
+	m := &Matcher{}
+	m.lens = make([]int, len(patterns))
+	// State 0 is the root.
+	m.next = append(m.next, [256]int32{})
+	m.out = append(m.out, nil)
+	fail := []int32{0}
+
+	// Phase 1: trie construction.
+	for pi, p := range patterns {
+		m.lens[pi] = len(p)
+		if len(p) == 0 {
+			continue
+		}
+		s := int32(0)
+		for _, b := range p {
+			if m.next[s][b] == 0 {
+				m.next = append(m.next, [256]int32{})
+				m.out = append(m.out, nil)
+				fail = append(fail, 0)
+				m.next[s][b] = int32(len(m.next) - 1)
+			}
+			s = m.next[s][b]
+		}
+		m.out[s] = append(m.out[s], int32(pi))
+	}
+
+	// Phase 2: BFS failure links, converting the trie into a DFA by
+	// filling in missing transitions.
+	queue := make([]int32, 0, len(m.next))
+	for b := 0; b < 256; b++ {
+		if s := m.next[0][b]; s != 0 {
+			fail[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for b := 0; b < 256; b++ {
+			t := m.next[s][b]
+			if t == 0 {
+				// DFA completion: missing edge follows the failure
+				// state's edge.
+				m.next[s][b] = m.next[fail[s]][b]
+				continue
+			}
+			fail[t] = m.next[fail[s]][b]
+			m.out[t] = append(m.out[t], m.out[fail[t]]...)
+			queue = append(queue, t)
+		}
+	}
+	return m
+}
+
+// States returns the number of automaton states (diagnostics).
+func (m *Matcher) States() int { return len(m.next) }
+
+// Match invokes visit for every pattern occurrence in data with the
+// pattern index and the end offset (exclusive). Returning false from
+// visit stops the scan early (IDS first-match semantics).
+func (m *Matcher) Match(data []byte, visit func(pattern, end int) bool) {
+	s := int32(0)
+	for i, b := range data {
+		s = m.next[s][b]
+		for _, pi := range m.out[s] {
+			if !visit(int(pi), i+1) {
+				return
+			}
+		}
+	}
+}
+
+// Contains reports whether any pattern occurs in data.
+func (m *Matcher) Contains(data []byte) bool {
+	found := false
+	m.Match(data, func(int, int) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// First returns the index of the first pattern that completes a match
+// in data, scanning left to right, or -1.
+func (m *Matcher) First(data []byte) int {
+	first := -1
+	m.Match(data, func(p, _ int) bool {
+		first = p
+		return false
+	})
+	return first
+}

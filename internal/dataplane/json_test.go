@@ -1,0 +1,59 @@
+package dataplane
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"nfp/internal/graph"
+	"nfp/internal/packet"
+)
+
+func TestPlanJSON(t *testing.T) {
+	g := graph.Seq{Items: []graph.Node{
+		nfn("a", 0),
+		graph.Par{
+			Branches: []graph.Node{nfn("b", 0), nfn("c", 0)},
+			Groups:   [][]int{{0}, {1}},
+			FullCopy: []bool{false, true},
+			Ops: []graph.MergeOp{{
+				Kind: graph.OpModify, SrcVersion: 2,
+				SrcField: packet.FieldSrcIP, DstField: packet.FieldSrcIP,
+			}},
+		},
+	}}
+	b, err := PlanJSON(9, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	s := string(b)
+	for _, frag := range []string{
+		`"mid": 9`,
+		`"copies_per_packet": 1`,
+		`"classification_actions"`,
+		`"forwarding_table"`,
+		`"merging_table"`,
+		`"total_count": 2`,
+		`modify(v1.sip, v2.sip)`,
+		`"full_copy": true`,
+		`"versions": [`,
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("JSON missing %q:\n%s", frag, s)
+		}
+	}
+	// base64-encoded byte arrays must never appear.
+	if strings.Contains(s, "AQI=") {
+		t.Error("versions encoded as base64")
+	}
+}
+
+func TestPlanJSONInvalidGraph(t *testing.T) {
+	if _, err := PlanJSON(1, graph.Seq{}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}

@@ -1,0 +1,242 @@
+package dataplane
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"nfp/internal/graph"
+	"nfp/internal/packet"
+)
+
+// mergeItem is one branch-tail report delivered to a merger instance:
+// the packet reference (still live even when the NF decided to drop, so
+// the merger can release the buffer) plus the join it belongs to.
+type mergeItem struct {
+	pkt     *packet.Packet
+	mid     uint32
+	join    int
+	dropped bool
+}
+
+// atKey identifies one packet at one join — the Accumulating Table key.
+type atKey struct {
+	mid  uint32
+	join int
+	pid  uint64
+}
+
+// atEntry accumulates the copies of one packet (§5.3, Figure 4: current
+// count and received versions).
+type atEntry struct {
+	count    int
+	versions [packet.MaxVersion + 1]*packet.Packet
+	dropped  bool
+}
+
+// merger is one merger instance. The paper implements mergers as NFs so
+// they can be instantiated/destroyed dynamically; here each instance is
+// a goroutine with its own receive queue and a local Accumulating
+// Table, fed by the merger agent's PID hash.
+type merger struct {
+	id     int
+	in     chan mergeItem
+	at     map[atKey]*atEntry
+	server *Server
+
+	processed atomic.Uint64
+	merged    atomic.Uint64
+	drops     atomic.Uint64
+}
+
+func newMerger(id, queue int, s *Server) *merger {
+	return &merger{
+		id:     id,
+		in:     make(chan mergeItem, queue),
+		at:     make(map[atKey]*atEntry),
+		server: s,
+	}
+}
+
+// run is the merger goroutine body; it exits when the input channel
+// closes.
+func (m *merger) run() {
+	for item := range m.in {
+		m.handle(item)
+	}
+}
+
+func (m *merger) handle(item mergeItem) {
+	m.processed.Add(1)
+	key := atKey{mid: item.mid, join: item.join, pid: item.pkt.Meta.PID}
+	e := m.at[key]
+	if e == nil {
+		e = &atEntry{}
+		m.at[key] = e
+	}
+	e.count++
+	e.versions[item.pkt.Meta.Version] = item.pkt
+	if item.dropped {
+		e.dropped = true
+	}
+
+	spec := m.server.joinSpec(item.mid, item.join)
+	if e.count < spec.ExpectTails {
+		return
+	}
+	delete(m.at, key)
+	m.finalize(item.mid, spec, e)
+}
+
+// finalize completes one packet's join: reconcile drops, apply the
+// merging operations to the base copy, release the other copies, and
+// run the continuation.
+func (m *merger) finalize(mid uint32, spec JoinSpec, e *atEntry) {
+	pr := m.server.planRT(mid)
+	base := e.versions[spec.BaseVersion]
+
+	if e.dropped {
+		m.drops.Add(1)
+		// Release every received copy except the base, which either
+		// propagates the drop to the outer join or is freed at output.
+		for v, pkt := range e.versions {
+			if pkt != nil && uint8(v) != spec.BaseVersion {
+				pkt.Free()
+			}
+		}
+		if base == nil {
+			// The base never arrived (its own branch dropped it and the
+			// buffer came through as a dropped item under the base
+			// version — or the entry is inconsistent). Synthesize a nil
+			// carrier for propagation.
+			base = packet.NewNil(packet.Meta{MID: mid, Version: spec.BaseVersion})
+		}
+		m.server.deliverDrop(pr, spec.DropTo, base)
+		return
+	}
+
+	if base == nil {
+		// A non-dropped packet must always include its base version;
+		// anything else is a plan bug worth crashing loudly on.
+		panic(fmt.Sprintf("dataplane: join %d of mid %d completed without base version %d",
+			spec.ID, mid, spec.BaseVersion))
+	}
+
+	for _, op := range spec.Ops {
+		if err := applyMergeOp(base, op, &e.versions); err != nil {
+			// A malformed copy (e.g. truncated beyond the op's field)
+			// degrades to passing the base through unmodified; the
+			// operator sees the count.
+			m.server.mergeErrs.Add(1)
+			break
+		}
+	}
+	if len(spec.Ops) > 0 {
+		// Merge ops pulled bytes from (possibly header-only) copies, so
+		// the base's L4 checksum is stale. NFs maintain the checksum
+		// after their own writes (the well-behaved-middlebox contract),
+		// so recomputing over the merged content reproduces exactly the
+		// checksum sequential execution would have left.
+		base.UpdateL4Checksum()
+	}
+	for v, pkt := range e.versions {
+		if pkt != nil && uint8(v) != spec.BaseVersion {
+			pkt.Free()
+		}
+	}
+	m.merged.Add(1)
+	m.server.exec(pr, spec.Next, base)
+}
+
+// applyMergeOp applies one §5.3 merging operation to the base packet.
+func applyMergeOp(base *packet.Packet, op graph.MergeOp, versions *[packet.MaxVersion + 1]*packet.Packet) error {
+	switch op.Kind {
+	case graph.OpModify:
+		src := versions[op.SrcVersion]
+		if src == nil {
+			return fmt.Errorf("merge: modify source v%d missing", op.SrcVersion)
+		}
+		srcBytes := src.FieldBytes(op.SrcField)
+		if srcBytes == nil {
+			return fmt.Errorf("merge: source field %v missing in v%d", op.SrcField, op.SrcVersion)
+		}
+		r, ok := base.FieldRange(op.DstField)
+		if !ok {
+			return fmt.Errorf("merge: destination field %v missing in base", op.DstField)
+		}
+		if r.Len == len(srcBytes) {
+			copy(base.Buffer()[r.Off:r.Off+r.Len], srcBytes)
+			// Address rewrites must keep the IP checksum valid.
+			if op.DstField == packet.FieldSrcIP || op.DstField == packet.FieldDstIP ||
+				op.DstField == packet.FieldTTL || op.DstField == packet.FieldIPHeader {
+				base.Invalidate()
+				refreshIP(base)
+			}
+			return nil
+		}
+		// Variable-length field (payload): splice.
+		if err := base.RemoveAt(r.Off, r.Len); err != nil {
+			return err
+		}
+		if err := base.InsertAt(r.Off, srcBytes); err != nil {
+			return err
+		}
+		refreshIP(base)
+		return nil
+
+	case graph.OpAdd:
+		src := versions[op.SrcVersion]
+		if src == nil {
+			return fmt.Errorf("merge: add source v%d missing", op.SrcVersion)
+		}
+		srcBytes := src.FieldBytes(op.SrcField)
+		if srcBytes == nil {
+			return fmt.Errorf("merge: source field %v missing in v%d", op.SrcField, op.SrcVersion)
+		}
+		anchor, ok := base.FieldRange(op.DstField)
+		if !ok {
+			return fmt.Errorf("merge: anchor field %v missing in base", op.DstField)
+		}
+		off := anchor.Off
+		if op.After {
+			off += anchor.Len
+		}
+		if err := base.InsertAt(off, srcBytes); err != nil {
+			return err
+		}
+		if op.SrcField == packet.FieldAH {
+			// Splicing an AH header also rewrites the protocol chain.
+			l3 := packet.EthHeaderLen
+			base.Buffer()[l3+9] = packet.ProtoAH
+		}
+		refreshIP(base)
+		return nil
+
+	case graph.OpRemove:
+		r, ok := base.FieldRange(op.DstField)
+		if !ok {
+			return fmt.Errorf("merge: field %v to remove missing in base", op.DstField)
+		}
+		var next uint8
+		if op.DstField == packet.FieldAH {
+			next = base.Buffer()[r.Off] // AH next-header field
+		}
+		if err := base.RemoveAt(r.Off, r.Len); err != nil {
+			return err
+		}
+		if op.DstField == packet.FieldAH {
+			base.Buffer()[packet.EthHeaderLen+9] = next
+		}
+		refreshIP(base)
+		return nil
+	}
+	return fmt.Errorf("merge: unknown op kind %v", op.Kind)
+}
+
+// refreshIP re-synchronizes the IP total length and checksum after a
+// structural change.
+func refreshIP(p *packet.Packet) {
+	p.Invalidate()
+	if err := p.Parse(); err == nil {
+		p.SetTotalLen(uint16(p.Len() - packet.EthHeaderLen))
+	}
+}

@@ -1,0 +1,57 @@
+package dataplane
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"nfp/internal/nf"
+	"nfp/internal/packet"
+	"nfp/internal/ring"
+)
+
+// nodeRT is one NF runtime (§5.2): the per-NF shim that collects
+// packets from the receive ring, hands them to the NF logic, and then
+// performs the distributed forwarding actions of the NF's local
+// forwarding table — including copying for parallel branches and
+// conveying drop intentions to the merger.
+type nodeRT struct {
+	plan   *PlanNode
+	inst   nf.NF
+	rx     *ring.MPSC
+	server *Server
+	pr     *planRuntime
+
+	processed atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// run is the NF runtime goroutine body. It polls the receive ring —
+// DPDK-style busy polling softened with Gosched so the simulation works
+// on small core counts — until the server stops and the ring drains.
+func (n *nodeRT) run() {
+	for {
+		pkt := n.rx.Dequeue()
+		if pkt == nil {
+			if n.server.stopped.Load() {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		n.process(pkt)
+	}
+}
+
+func (n *nodeRT) process(pkt *packet.Packet) {
+	verdict := n.inst.Process(pkt)
+	n.processed.Add(1)
+	if verdict == nf.Drop {
+		n.dropped.Add(1)
+		// §5.2 "ignore": skip the forwarding actions and convey the
+		// dropping intention (the packet reference rides along so the
+		// merger can release the buffer once all tails report).
+		n.server.deliverDrop(n.pr, n.plan.DropTo, pkt)
+		return
+	}
+	n.server.exec(n.pr, n.plan.Next, pkt)
+}

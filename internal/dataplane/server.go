@@ -1,0 +1,410 @@
+package dataplane
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nfp/internal/flow"
+	"nfp/internal/graph"
+	"nfp/internal/mempool"
+	"nfp/internal/nf"
+	"nfp/internal/packet"
+	"nfp/internal/ring"
+)
+
+// Config sizes an NFP server.
+type Config struct {
+	// PoolSize is the number of packet buffers in the shared pool
+	// (default 4096).
+	PoolSize int
+	// BufSize is the per-buffer byte size; it must leave headroom over
+	// the MTU for AH encapsulation (default 2048).
+	BufSize int
+	// RingSize is the per-NF receive ring capacity (default 512).
+	RingSize int
+	// Mergers is the number of merger instances the merger agent
+	// load-balances across (default 2 — §6.3.3: "two merger instances
+	// are sufficient ... with the parallelism degree of up to 5").
+	Mergers int
+	// MergerQueue is each merger's input queue length (default 1024).
+	MergerQueue int
+	// OutputQueue is the output channel capacity (default 1024).
+	OutputQueue int
+	// Registry provides NF factories (default nf.NewRegistry()).
+	Registry *nf.Registry
+}
+
+func (c *Config) setDefaults() {
+	if c.PoolSize == 0 {
+		c.PoolSize = 4096
+	}
+	if c.BufSize == 0 {
+		c.BufSize = 2048
+	}
+	if c.RingSize == 0 {
+		c.RingSize = 512
+	}
+	if c.Mergers == 0 {
+		c.Mergers = 2
+	}
+	if c.MergerQueue == 0 {
+		c.MergerQueue = 1024
+	}
+	if c.OutputQueue == 0 {
+		c.OutputQueue = 1024
+	}
+	if c.Registry == nil {
+		c.Registry = nf.NewRegistry()
+	}
+}
+
+// planRuntime is one installed service graph with its NF runtimes.
+type planRuntime struct {
+	plan  *Plan
+	nodes []*nodeRT
+}
+
+// Server is one NFP server (Figure 3): shared memory pool, classifier,
+// NF runtimes, merger agent and merger instances.
+type Server struct {
+	cfg        Config
+	pool       *mempool.Pool
+	classifier Classifier
+	plansMu    sync.Mutex // serializes graph installation
+	plans      atomic.Pointer[map[uint32]*planRuntime]
+	mergers    []*merger
+	out        chan *packet.Packet
+
+	started   atomic.Bool
+	stopped   atomic.Bool
+	wg        sync.WaitGroup
+	injected  atomic.Uint64
+	outCount  atomic.Uint64
+	drops     atomic.Uint64
+	copies    atomic.Uint64
+	copiedB   atomic.Uint64 // bytes duplicated (resource overhead meter)
+	mergeErrs atomic.Uint64
+}
+
+// New creates a server from cfg.
+func New(cfg Config) *Server {
+	cfg.setDefaults()
+	s := &Server{
+		cfg:  cfg,
+		pool: mempool.New(cfg.PoolSize, cfg.BufSize),
+		out:  make(chan *packet.Packet, cfg.OutputQueue),
+	}
+	s.plans.Store(&map[uint32]*planRuntime{})
+	// Keep a slice of the pool for the copies parallel stages create;
+	// see mempool.SetReserve for the deadlock this prevents.
+	reserve := cfg.PoolSize / 8
+	if reserve < 8 {
+		reserve = cfg.PoolSize / 2
+	}
+	s.pool.SetReserve(reserve)
+	for i := 0; i < cfg.Mergers; i++ {
+		s.mergers = append(s.mergers, newMerger(i, cfg.MergerQueue, s))
+	}
+	return s
+}
+
+// AddGraph compiles and installs a service graph under mid, creating
+// fresh NF instances from the registry. The first installed graph
+// becomes the classifier default.
+func (s *Server) AddGraph(mid uint32, g graph.Node) error {
+	return s.AddGraphInstances(mid, g, nil)
+}
+
+// AddGraphInstances installs a graph using the provided NF instances
+// where present (tests and examples use this to inspect NF state);
+// missing instances come from the registry.
+//
+// Installation is allowed while the server runs — the §7 elasticity
+// path ("we could simply create a new instance ... and modify the
+// forwarding table to redirect some flows to the new instance"): the
+// new graph's NF runtimes start immediately, and classifier rules can
+// then redirect flows to the new MID with zero packet loss.
+func (s *Server) AddGraphInstances(mid uint32, g graph.Node, instances map[graph.NF]nf.NF) error {
+	if s.stopped.Load() {
+		return fmt.Errorf("dataplane: server stopped")
+	}
+	plan, err := CompilePlan(mid, g)
+	if err != nil {
+		return err
+	}
+	pr := &planRuntime{plan: plan}
+	for i := range plan.Nodes {
+		pn := &plan.Nodes[i]
+		inst := instances[pn.NF]
+		if inst == nil {
+			inst, err = s.cfg.Registry.New(pn.NF.Name)
+			if err != nil {
+				return fmt.Errorf("dataplane: node %v: %w", pn.NF, err)
+			}
+		}
+		pr.nodes = append(pr.nodes, &nodeRT{
+			plan:   pn,
+			inst:   inst,
+			rx:     ring.NewMPSC(s.cfg.RingSize),
+			server: s,
+			pr:     pr,
+		})
+	}
+
+	s.plansMu.Lock()
+	old := *s.plans.Load()
+	if _, dup := old[mid]; dup {
+		s.plansMu.Unlock()
+		return fmt.Errorf("dataplane: MID %d already installed", mid)
+	}
+	next := make(map[uint32]*planRuntime, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[mid] = pr
+	s.plans.Store(&next)
+	first := len(next) == 1
+	started := s.started.Load()
+	s.plansMu.Unlock()
+
+	if first {
+		s.classifier.SetDefault(mid)
+	}
+	if started {
+		s.startRuntimes(pr)
+	}
+	return nil
+}
+
+// startRuntimes launches the NF runtime goroutines of one plan.
+func (s *Server) startRuntimes(pr *planRuntime) {
+	for _, n := range pr.nodes {
+		s.wg.Add(1)
+		go func(n *nodeRT) {
+			defer s.wg.Done()
+			n.run()
+		}(n)
+	}
+}
+
+// Classifier exposes the classification table for rule installation.
+func (s *Server) Classifier() *Classifier { return &s.classifier }
+
+// Pool returns the shared packet pool; traffic generators must build
+// injected packets in pool buffers.
+func (s *Server) Pool() *mempool.Pool { return s.pool }
+
+// Output is the stream of packets that completed their service graph.
+// The consumer owns each packet and must Free it.
+func (s *Server) Output() <-chan *packet.Packet { return s.out }
+
+// Start launches every NF runtime and merger goroutine.
+func (s *Server) Start() error {
+	if len(*s.plans.Load()) == 0 {
+		return fmt.Errorf("dataplane: no graphs installed")
+	}
+	if !s.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("dataplane: already started")
+	}
+	for _, pr := range *s.plans.Load() {
+		s.startRuntimes(pr)
+	}
+	for _, m := range s.mergers {
+		s.wg.Add(1)
+		go func(m *merger) {
+			defer s.wg.Done()
+			m.run()
+		}(m)
+	}
+	return nil
+}
+
+// Stop drains in-flight packets and terminates all goroutines. It must
+// be called exactly once, after the caller stops injecting.
+func (s *Server) Stop() {
+	if !s.started.Load() || s.stopped.Load() {
+		return
+	}
+	// Wait until every injected packet surfaced as an output or a
+	// drop. The output channel consumer must keep draining until Stop
+	// returns, or this backpressures forever.
+	for s.injected.Load() > s.outCount.Load()+s.drops.Load() {
+		runtime.Gosched()
+	}
+	s.stopped.Store(true)
+	for _, m := range s.mergers {
+		close(m.in)
+	}
+	s.wg.Wait()
+	close(s.out)
+}
+
+// Inject classifies one packet (built in a pool buffer) and sends it
+// into its service graph. It reports false when classification fails;
+// the caller keeps ownership of rejected packets.
+func (s *Server) Inject(pkt *packet.Packet) bool {
+	mid, ok := s.classifier.Classify(pkt)
+	if !ok {
+		return false
+	}
+	pr := (*s.plans.Load())[mid]
+	if pr == nil {
+		return false
+	}
+	return s.injectInto(pr, pkt)
+}
+
+// InjectPreclassified sends a packet whose metadata (MID, PID,
+// version) was assigned elsewhere — the cross-server ingress path,
+// where the upstream server's classifier already tagged the packet and
+// the NSH shim carried the tags over the wire (§7). It reports false
+// when the MID has no installed graph.
+func (s *Server) InjectPreclassified(pkt *packet.Packet) bool {
+	pr := (*s.plans.Load())[pkt.Meta.MID]
+	if pr == nil {
+		return false
+	}
+	if pkt.Meta.Version == 0 {
+		pkt.Meta.Version = 1
+	}
+	return s.injectInto(pr, pkt)
+}
+
+func (s *Server) injectInto(pr *planRuntime, pkt *packet.Packet) bool {
+	// Pre-parse so NFs sharing the packet in a no-copy parallel group
+	// only read the layout cache (writing it lazily would be a data
+	// race between runtimes, even with identical values).
+	_ = pkt.Parse()
+	s.injected.Add(1)
+	s.exec(pr, pr.plan.Entry, pkt)
+	return true
+}
+
+// exec runs a forwarding-table dispatch list on a packet. The held map
+// collects the versions materialized so far, seeded with the incoming
+// packet under its own version.
+func (s *Server) exec(pr *planRuntime, ds []Dispatch, pkt *packet.Packet) {
+	var held [packet.MaxVersion + 1]*packet.Packet
+	held[pkt.Meta.Version] = pkt
+	for _, d := range ds {
+		src := held[d.SrcVersion]
+		if src == nil {
+			panic(fmt.Sprintf("dataplane: dispatch references missing version %d", d.SrcVersion))
+		}
+		out := src
+		if d.NewVersion != 0 {
+			cp := s.allocCopy()
+			if d.FullCopy {
+				packet.FullCopy(src, cp, d.NewVersion)
+			} else {
+				packet.HeaderOnlyCopy(src, cp, d.NewVersion)
+			}
+			s.copies.Add(1)
+			s.copiedB.Add(uint64(cp.Len()))
+			held[d.NewVersion] = cp
+			out = cp
+		}
+		for _, t := range d.Targets {
+			s.deliver(pr, t, out, false)
+		}
+	}
+}
+
+// allocCopy obtains a pool buffer, applying backpressure (spin +
+// Gosched) when the pool is momentarily exhausted.
+func (s *Server) allocCopy() *packet.Packet {
+	for {
+		if pkt := s.pool.GetReserved(); pkt != nil {
+			return pkt
+		}
+		runtime.Gosched()
+	}
+}
+
+// deliver sends one packet reference to a target.
+func (s *Server) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped bool) {
+	switch t.Kind {
+	case ToNode:
+		rx := pr.nodes[t.Node].rx
+		for !rx.Enqueue(pkt) {
+			runtime.Gosched() // ring full: backpressure
+		}
+	case ToJoin:
+		// Merger agent (§5.3): hash the immutable PID to pick the
+		// merger instance, so all copies of one packet meet at the
+		// same merger while different packets spread across instances.
+		m := s.mergers[flow.HashPID(pkt.Meta.PID)%uint64(len(s.mergers))]
+		m.in <- mergeItem{pkt: pkt, mid: pr.plan.MID, join: t.Join, dropped: dropped}
+	case ToOutput:
+		if dropped {
+			s.drops.Add(1)
+			pkt.Free()
+			return
+		}
+		s.outCount.Add(1)
+		s.out <- pkt
+	}
+}
+
+// deliverDrop routes a drop intention (with the packet reference so
+// buffers can be reclaimed) to the nearest join or the output.
+func (s *Server) deliverDrop(pr *planRuntime, t Target, pkt *packet.Packet) {
+	s.deliver(pr, t, pkt, true)
+}
+
+// joinSpec resolves a join for the mergers.
+func (s *Server) joinSpec(mid uint32, join int) JoinSpec {
+	return (*s.plans.Load())[mid].plan.Joins[join]
+}
+
+// planRT resolves a plan runtime for the mergers.
+func (s *Server) planRT(mid uint32) *planRuntime { return (*s.plans.Load())[mid] }
+
+// Stats is a snapshot of server counters.
+type Stats struct {
+	Injected uint64
+	Outputs  uint64
+	Drops    uint64
+	// Copies and CopiedBytes quantify the §6.3.1 resource overhead.
+	Copies      uint64
+	CopiedBytes uint64
+	MergeErrors uint64
+	// MergerLoad is the per-instance processed item count (§6.3.3).
+	MergerLoad []uint64
+	// Pool reports buffer pool activity.
+	Pool mempool.Stats
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Injected:    s.injected.Load(),
+		Outputs:     s.outCount.Load(),
+		Drops:       s.drops.Load(),
+		Copies:      s.copies.Load(),
+		CopiedBytes: s.copiedB.Load(),
+		MergeErrors: s.mergeErrs.Load(),
+		Pool:        s.pool.Stats(),
+	}
+	for _, m := range s.mergers {
+		st.MergerLoad = append(st.MergerLoad, m.processed.Load())
+	}
+	return st
+}
+
+// NodeRuntime returns the NF instance executing a graph node, for state
+// inspection in tests and examples.
+func (s *Server) NodeRuntime(mid uint32, node graph.NF) (nf.NF, bool) {
+	pr := (*s.plans.Load())[mid]
+	if pr == nil {
+		return nil, false
+	}
+	for _, n := range pr.nodes {
+		if n.plan.NF == node {
+			return n.inst, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,161 @@
+package equivalence
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"nfp/internal/graph"
+	"nfp/internal/nfa"
+	"nfp/internal/packet"
+)
+
+// TestRandomizedEquivalence is the §4.1 result-correctness property
+// test: over many random chains of random synthetic NFs, the compiled
+// parallel graph must be observationally equivalent to the sequential
+// chain — identical outputs, drops, and per-NF observation digests.
+func TestRandomizedEquivalence(t *testing.T) {
+	trials := 30
+	packets := 150
+	if testing.Short() {
+		trials = 8
+		packets = 60
+	}
+	rng := rand.New(rand.NewSource(20260705))
+	parallelized := 0
+	for i := 0; i < trials; i++ {
+		trial, err := NewTrial(rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		if graph.EquivalentLength(trial.ParGraph) < graph.EquivalentLength(trial.SeqGraph) {
+			parallelized++
+		}
+		seed := int64(1000 + i)
+		seq, err := trial.Execute(trial.SeqGraph, packets, seed)
+		if err != nil {
+			t.Fatalf("trial %d sequential: %v", i, err)
+		}
+		par, err := trial.Execute(trial.ParGraph, packets, seed)
+		if err != nil {
+			t.Fatalf("trial %d parallel: %v", i, err)
+		}
+		if diffs := Compare(seq, par); len(diffs) != 0 {
+			t.Errorf("trial %d NOT equivalent\nchain: %v\nprofiles: %v\nseq graph: %v\npar graph: %v\nviolations: %v",
+				i, trial.Chain, trial.Profiles, trial.SeqGraph, trial.ParGraph, diffs)
+		}
+	}
+	// The generator must actually exercise parallelization, or the
+	// property is vacuous.
+	if parallelized < trials/4 {
+		t.Errorf("only %d/%d trials parallelized anything; generator too conservative", parallelized, trials)
+	}
+}
+
+// TestEquivalenceWithoutDirtyReuse re-runs a slice of the property
+// with OP#1 disabled, exercising the all-copies path.
+func TestEquivalenceWithoutDirtyReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 6; i++ {
+		trial, err := NewTrial(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := trial.Execute(trial.SeqGraph, 80, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := trial.Execute(trial.ParGraph, 80, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diffs := Compare(seq, par); len(diffs) != 0 {
+			t.Errorf("trial %d violations: %v\n%v vs %v", i, diffs, trial.SeqGraph, trial.ParGraph)
+		}
+	}
+}
+
+func TestSynNFDeterminism(t *testing.T) {
+	prof := nfa.Profile{Actions: []nfa.Action{
+		nfa.Read(packet.FieldSrcIP), nfa.Write(packet.FieldDstPort),
+		nfa.Read(packet.FieldPayload), nfa.Write(packet.FieldPayload),
+	}}
+	mk := func() *packet.Packet {
+		p := packet.Build(packet.BuildSpec{
+			SrcIP: netipAddr("10.1.2.3"), DstIP: netipAddr("10.4.5.6"),
+			SrcPort: 10, DstPort: 20, Payload: []byte("same input bytes"),
+		})
+		p.Meta.PID = 42
+		return p
+	}
+	a, b := NewSynNF("x", prof), NewSynNF("x", prof)
+	pa, pb := mk(), mk()
+	va, vb := a.Process(pa), b.Process(pb)
+	if va != vb {
+		t.Fatal("verdicts differ")
+	}
+	if string(pa.Bytes()) != string(pb.Bytes()) {
+		t.Error("same input produced different outputs")
+	}
+	if a.Digest() != b.Digest() {
+		t.Error("digests differ for identical processing")
+	}
+	// A different NF name writes different values.
+	c := NewSynNF("y", prof)
+	pc := mk()
+	c.Process(pc)
+	if string(pc.Bytes()) == string(pa.Bytes()) {
+		t.Error("distinct NFs produced identical writes")
+	}
+}
+
+func TestSynNFRespectsProfile(t *testing.T) {
+	// An NF with no write actions must never modify the packet; one
+	// without Drop must never drop.
+	prof := nfa.Profile{Actions: []nfa.Action{
+		nfa.Read(packet.FieldSrcIP), nfa.Read(packet.FieldPayload),
+	}}
+	s := NewSynNF("ro", prof)
+	p := packet.Build(packet.BuildSpec{
+		SrcIP: netipAddr("10.0.0.1"), DstIP: netipAddr("10.0.0.2"),
+		SrcPort: 1, DstPort: 2, Payload: []byte("data"),
+	})
+	before := append([]byte(nil), p.Bytes()...)
+	for i := 0; i < 100; i++ {
+		p.Meta.PID = uint64(i)
+		if s.Process(p) != 0 {
+			t.Fatal("read-only NF dropped")
+		}
+	}
+	if string(before) != string(p.Bytes()) {
+		t.Error("read-only NF modified the packet")
+	}
+	processed, dropped := s.Counts()
+	if processed != 100 || dropped != 0 {
+		t.Errorf("counts = %d/%d", processed, dropped)
+	}
+}
+
+func TestGenProfileAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	droppers := 0
+	for i := 0; i < 500; i++ {
+		prof := GenProfile(rng)
+		if len(prof.Actions) == 0 {
+			t.Fatal("empty profile generated")
+		}
+		if prof.Drops() {
+			droppers++
+		}
+		for _, a := range prof.Actions {
+			if a.Op == nfa.OpAddRm {
+				t.Fatal("generator produced AddRm (implementations don't support it)")
+			}
+		}
+	}
+	if droppers < 50 || droppers > 150 {
+		t.Errorf("droppers = %d/500, want ≈100", droppers)
+	}
+}
+
+func netipAddr(s string) netip.Addr { return netip.MustParseAddr(s) }

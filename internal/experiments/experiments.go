@@ -1,0 +1,159 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§6). Each experiment produces a Table whose rows
+// mirror the series the paper plots, computed from the calibrated
+// analytic model (internal/sim); the live experiments additionally run
+// the real dataplane to validate functional behaviour and measure
+// single-host throughput.
+//
+// The per-experiment mapping to the paper is indexed in DESIGN.md; the
+// reproduced numbers next to the paper's are recorded in
+// EXPERIMENTS.md, which `nfpbench -all` regenerates.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result, rendered paper-style.
+type Table struct {
+	// ID is the experiment identifier (e.g. "fig9a", "table4").
+	ID string
+	// Title describes what the paper shows there.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows are the data series.
+	Rows [][]string
+	// Notes carry calibration or deviation remarks.
+	Notes []string
+}
+
+// Render writes the table as aligned text.
+func (t Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t Table) Markdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | "))
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	fmt.Fprintln(w)
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "*%s*\n\n", n)
+	}
+}
+
+// f1 formats a float with one decimal.
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+
+// f2 formats a float with two decimals.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// f3 formats a float with three decimals.
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// pct formats a fraction as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// All returns every experiment in presentation order. live enables the
+// real-dataplane validation runs (slower).
+func All(live bool) []Table {
+	tables := []Table{
+		PairStatsTable(),
+		Table4(),
+	}
+	tables = append(tables, Fig7()...)
+	tables = append(tables, Fig8()...)
+	tables = append(tables, Fig9()...)
+	tables = append(tables, Fig11()...)
+	tables = append(tables, Fig12()...)
+	tables = append(tables, Fig13())
+	tables = append(tables, OverheadTable(), MergerTable(), LoadCurve())
+	if live {
+		tables = append(tables, LiveValidation()...)
+		tables = append(tables, CrossServer(), CrossServerEquivalence())
+	}
+	return tables
+}
+
+// ByID returns one experiment's tables by identifier prefix
+// ("pairs", "table4", "fig7", "fig8", "fig9", "fig11", "fig12",
+// "fig13", "overhead", "merger", "live").
+func ByID(id string, live bool) []Table {
+	switch strings.ToLower(id) {
+	case "pairs":
+		return []Table{PairStatsTable()}
+	case "table4":
+		return []Table{Table4()}
+	case "fig7":
+		return Fig7()
+	case "fig8":
+		return Fig8()
+	case "fig9":
+		return Fig9()
+	case "fig11":
+		return Fig11()
+	case "fig12":
+		return Fig12()
+	case "fig13":
+		return []Table{Fig13()}
+	case "overhead":
+		return []Table{OverheadTable()}
+	case "merger":
+		return []Table{MergerTable()}
+	case "loadcurve":
+		return []Table{LoadCurve()}
+	case "live":
+		return LiveValidation()
+	case "crossserver":
+		return []Table{CrossServer(), CrossServerEquivalence()}
+	case "all":
+		return All(live)
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, tb Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	return buf.String()
+}
+
+func cell(t *testing.T, tb Table, row, col int) float64 {
+	t.Helper()
+	v := strings.TrimSuffix(tb.Rows[row][col], "%")
+	x, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		t.Fatalf("%s[%d][%d] = %q: %v", tb.ID, row, col, tb.Rows[row][col], err)
+	}
+	return x
+}
+
+func TestAllExperimentsProduceRows(t *testing.T) {
+	for _, tb := range All(false) {
+		if tb.ID == "" || tb.Title == "" {
+			t.Errorf("table missing metadata: %+v", tb)
+		}
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s has no rows", tb.ID)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Errorf("%s row width %d != header %d", tb.ID, len(row), len(tb.Header))
+			}
+		}
+		out := render(t, tb)
+		if !strings.Contains(out, tb.ID) {
+			t.Errorf("%s render missing ID", tb.ID)
+		}
+		var md bytes.Buffer
+		tb.Markdown(&md)
+		if !strings.Contains(md.String(), "|") {
+			t.Errorf("%s markdown broken", tb.ID)
+		}
+	}
+}
+
+func TestByIDSelectors(t *testing.T) {
+	for _, id := range []string{"pairs", "table4", "fig7", "fig8", "fig9", "fig11", "fig12", "fig13", "overhead", "merger"} {
+		if len(ByID(id, false)) == 0 {
+			t.Errorf("ByID(%q) empty", id)
+		}
+	}
+	if ByID("nonsense", false) != nil {
+		t.Error("unknown ID returned tables")
+	}
+	if len(ByID("all", false)) < 10 {
+		t.Error("all selector too small")
+	}
+}
+
+func TestTable4RanksPlatforms(t *testing.T) {
+	tb := Table4()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i, row := range tb.Rows {
+		_ = row
+		onvm := cell(t, tb, i, 2)
+		nfp := cell(t, tb, i, 4)
+		bess := cell(t, tb, i, 6)
+		if !(bess < nfp && nfp < onvm) {
+			t.Errorf("len %d latency ranking wrong: bess=%.1f nfp=%.1f onvm=%.1f", i+1, bess, nfp, onvm)
+		}
+	}
+}
+
+func TestFig9ReductionGrowsWithComplexity(t *testing.T) {
+	lat := Fig9()[0]
+	first := cell(t, lat, 0, 5)
+	last := cell(t, lat, len(lat.Rows)-1, 5)
+	if last <= first {
+		t.Errorf("cut did not grow: %v -> %v", first, last)
+	}
+	if last < 35 || last > 50 {
+		t.Errorf("cut at 3000 cycles = %.1f%%, want ≈45%%", last)
+	}
+}
+
+func TestFig11ReductionRange(t *testing.T) {
+	lat := Fig11()[0]
+	d2 := cell(t, lat, 0, 5)
+	d5 := cell(t, lat, 3, 5)
+	if d2 < 20 || d2 > 45 {
+		t.Errorf("degree-2 cut = %.1f%%, want ≈33%%", d2)
+	}
+	if d5 < 40 || d5 > 65 {
+		t.Errorf("degree-5 cut = %.1f%%, want ≈52%%", d5)
+	}
+}
+
+func TestFig13GraphShapes(t *testing.T) {
+	tb := Fig13()
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+	// North-south compiles to equivalent length 3 with 0 copies; the
+	// west-east to length 2.
+	if tb.Rows[0][2] != "3" {
+		t.Errorf("north-south eq.len = %s", tb.Rows[0][2])
+	}
+	if tb.Rows[1][2] != "2" {
+		t.Errorf("west-east eq.len = %s", tb.Rows[1][2])
+	}
+	if tb.Rows[0][9] != "0.0%" {
+		t.Errorf("north-south overhead = %s", tb.Rows[0][9])
+	}
+	we := cell(t, tb, 1, 9)
+	if we < 8 || we > 10 {
+		t.Errorf("west-east overhead = %.1f%%, want ≈8.8%%", we)
+	}
+	// The west-east cut exceeds the north-south cut (paper: 35.9 vs
+	// 12.9).
+	ns := cell(t, tb, 0, 7)
+	weCut := cell(t, tb, 1, 7)
+	if weCut <= ns {
+		t.Errorf("west-east cut %.1f%% not larger than north-south %.1f%%", weCut, ns)
+	}
+}
+
+func TestOverheadTableAnchors(t *testing.T) {
+	tb := OverheadTable()
+	// 64B, d=2 → 100%; last row is the DC mixture ≈8.8% at d=2.
+	if got := cell(t, tb, 0, 1); got != 100 {
+		t.Errorf("ro(64,2) = %.1f%%", got)
+	}
+	dc := tb.Rows[len(tb.Rows)-1]
+	v, _ := strconv.ParseFloat(strings.TrimSuffix(dc[1], "%"), 64)
+	if v < 8 || v > 10 {
+		t.Errorf("DC mix d=2 overhead = %s", dc[1])
+	}
+}
+
+func TestMergerTableScaling(t *testing.T) {
+	tb := MergerTable()
+	for i := range tb.Rows {
+		one := cell(t, tb, i, 1)
+		two := cell(t, tb, i, 2)
+		four := cell(t, tb, i, 3)
+		if !(one <= two && two <= four) {
+			t.Errorf("degree %s: merger scaling broken %v", tb.Rows[i][0], tb.Rows[i])
+		}
+	}
+}
+
+func TestLiveValidationSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live dataplane runs")
+	}
+	tables := LiveValidation()
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	correct := tables[0]
+	if len(correct.Rows) != 3 {
+		t.Fatalf("correctness rows = %v; notes = %v", correct.Rows, correct.Notes)
+	}
+	for _, row := range correct.Rows {
+		if row[4] != "true" {
+			t.Errorf("chain %s outputs differ between sequential and parallel", row[0])
+		}
+		if row[5] != "true" {
+			t.Errorf("chain %s drop counts differ", row[0])
+		}
+	}
+	// No pool leaks in any live run.
+	for _, tb := range tables[1:] {
+		for _, row := range tb.Rows {
+			if tb.ID == "live-throughput" && row[len(row)-1] != "0" {
+				t.Errorf("%s: pool leak in %v", tb.ID, row)
+			}
+		}
+	}
+}
+
+func TestCrossServerTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster runs")
+	}
+	cs := CrossServer()
+	if len(cs.Rows) < 5 {
+		t.Fatalf("rows = %v notes = %v", cs.Rows, cs.Notes)
+	}
+	for _, row := range cs.Rows {
+		switch row[0] {
+		case "hop drops":
+			if row[1] != "0" {
+				t.Errorf("hop drops = %s", row[1])
+			}
+		case "frames per hop per packet":
+			if row[1] != "1.00" {
+				t.Errorf("frames per packet = %s, want 1.00", row[1])
+			}
+		}
+	}
+	eq := CrossServerEquivalence()
+	if len(eq.Rows) != 2 || eq.Rows[1][2] != "true" {
+		t.Errorf("equivalence rows = %v", eq.Rows)
+	}
+}

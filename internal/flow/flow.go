@@ -1,0 +1,91 @@
+// Package flow provides 5-tuple flow keys and the fast non-cryptographic
+// hashing NFP uses for classification (§5.1), ECMP load balancing, the
+// per-flow monitor, and merger-agent load balancing (§5.3).
+package flow
+
+import (
+	"fmt"
+	"net/netip"
+
+	"nfp/internal/packet"
+)
+
+// Key is the classic 5-tuple. It is comparable and therefore usable as a
+// map key in the classifier's Classification Table and the monitor's
+// counter table.
+type Key struct {
+	SrcIP, DstIP     netip.Addr
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// FromPacket extracts the 5-tuple of p. Packets carrying an AH header
+// still expose the inner L4 ports through the parsed layout.
+func FromPacket(p *packet.Packet) (Key, error) {
+	if err := p.Parse(); err != nil {
+		return Key{}, err
+	}
+	return Key{
+		SrcIP:   p.SrcIP(),
+		DstIP:   p.DstIP(),
+		SrcPort: p.SrcPort(),
+		DstPort: p.DstPort(),
+		Proto:   p.Protocol(),
+	}, nil
+}
+
+// Reverse returns the key of the opposite direction.
+func (k Key) Reverse() Key {
+	return Key{
+		SrcIP: k.DstIP, DstIP: k.SrcIP,
+		SrcPort: k.DstPort, DstPort: k.SrcPort,
+		Proto: k.Proto,
+	}
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d/%d", k.SrcIP, k.SrcPort, k.DstIP, k.DstPort, k.Proto)
+}
+
+// FNV-1a constants.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash returns a 64-bit FNV-1a hash of the 5-tuple, used by the ECMP
+// load balancer and the classifier.
+func (k Key) Hash() uint64 {
+	h := uint64(fnvOffset)
+	mix := func(b []byte) {
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= fnvPrime
+		}
+	}
+	s4 := k.SrcIP.As4()
+	d4 := k.DstIP.As4()
+	mix(s4[:])
+	mix(d4[:])
+	mix([]byte{byte(k.SrcPort >> 8), byte(k.SrcPort), byte(k.DstPort >> 8), byte(k.DstPort), k.Proto})
+	return h
+}
+
+// SymmetricHash returns a direction-independent hash: A->B and B->A map
+// to the same value, the property gopacket's Flow.FastHash documents and
+// NFP's bidirectional NFs rely on.
+func (k Key) SymmetricHash() uint64 {
+	a, b := k.Hash(), k.Reverse().Hash()
+	if a > b {
+		a, b = b, a
+	}
+	// Combine the ordered pair so distinct flows stay distinct.
+	return a*fnvPrime ^ b
+}
+
+// HashPID hashes a packet ID for merger-agent load balancing. §5.3: "the
+// merger agent performs a simple and fast hashing on the immutable PID
+// field". A multiplicative (Fibonacci) hash spreads consecutive PIDs.
+func HashPID(pid uint64) uint64 {
+	return pid * 0x9e3779b97f4a7c15
+}

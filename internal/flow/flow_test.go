@@ -1,0 +1,102 @@
+package flow
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"nfp/internal/packet"
+)
+
+func key(s, d string, sp, dp uint16, proto uint8) Key {
+	return Key{
+		SrcIP: netip.MustParseAddr(s), DstIP: netip.MustParseAddr(d),
+		SrcPort: sp, DstPort: dp, Proto: proto,
+	}
+}
+
+func TestFromPacket(t *testing.T) {
+	p := packet.Build(packet.BuildSpec{
+		SrcIP:   netip.MustParseAddr("10.1.2.3"),
+		DstIP:   netip.MustParseAddr("10.4.5.6"),
+		Proto:   packet.ProtoUDP,
+		SrcPort: 5000, DstPort: 53, Size: 80,
+	})
+	k, err := FromPacket(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := key("10.1.2.3", "10.4.5.6", 5000, 53, packet.ProtoUDP)
+	if k != want {
+		t.Errorf("got %v, want %v", k, want)
+	}
+}
+
+func TestFromPacketError(t *testing.T) {
+	if _, err := FromPacket(packet.New(make([]byte, 4))); err == nil {
+		t.Error("no error for truncated packet")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	k := key("1.1.1.1", "2.2.2.2", 10, 20, 6)
+	r := k.Reverse()
+	if r != key("2.2.2.2", "1.1.1.1", 20, 10, 6) {
+		t.Errorf("reverse = %v", r)
+	}
+	if r.Reverse() != k {
+		t.Error("double reverse is not identity")
+	}
+}
+
+func TestHashDistinguishesFlows(t *testing.T) {
+	a := key("1.1.1.1", "2.2.2.2", 10, 20, 6)
+	variants := []Key{
+		key("1.1.1.2", "2.2.2.2", 10, 20, 6),
+		key("1.1.1.1", "2.2.2.3", 10, 20, 6),
+		key("1.1.1.1", "2.2.2.2", 11, 20, 6),
+		key("1.1.1.1", "2.2.2.2", 10, 21, 6),
+		key("1.1.1.1", "2.2.2.2", 10, 20, 17),
+	}
+	for _, v := range variants {
+		if v.Hash() == a.Hash() {
+			t.Errorf("hash collision between %v and %v", a, v)
+		}
+	}
+	if a.Hash() != a.Hash() {
+		t.Error("hash not deterministic")
+	}
+}
+
+func TestSymmetricHash(t *testing.T) {
+	f := func(a1, a2, b1, b2 byte, sp, dp uint16) bool {
+		k := Key{
+			SrcIP:   netip.AddrFrom4([4]byte{10, a1, a2, 1}),
+			DstIP:   netip.AddrFrom4([4]byte{10, b1, b2, 2}),
+			SrcPort: sp, DstPort: dp, Proto: 6,
+		}
+		return k.SymmetricHash() == k.Reverse().SymmetricHash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashPIDSpreads(t *testing.T) {
+	// Consecutive PIDs must land on different merger instances (mod 2)
+	// reasonably evenly — the §6.3.3 load-balancing requirement.
+	buckets := [2]int{}
+	for pid := uint64(0); pid < 1000; pid++ {
+		buckets[HashPID(pid)%2]++
+	}
+	if buckets[0] < 300 || buckets[1] < 300 {
+		t.Errorf("PID hash badly skewed: %v", buckets)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := key("1.2.3.4", "5.6.7.8", 1, 2, 6)
+	if got := k.String(); got != "1.2.3.4:1->5.6.7.8:2/6" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,177 @@
+// Package graph defines NFP's service graph representation: the output
+// of the orchestrator's compilation (§4.4) and the input to both the
+// dataplane (§5) and the analytic simulator.
+//
+// A service graph is a composition of three node kinds:
+//
+//   - NF: one network function instance,
+//   - Seq: sequential composition (a traditional chain segment),
+//   - Par: parallel composition with copy groups and merging
+//     operations (the join point where a merger reconciles packet
+//     copies).
+//
+// The algebra expresses every structure in the paper: Figure 1(b) is
+// Seq(VPN, Par(Monitor, FW), LB); Figure 14's six 4-NF structures are
+// Seq(a,b,c,d), Par(a,b,c,d), Seq(a, Par(b,c,d)), Seq(a, Par(b,c), d),
+// Par(a, Seq(b,c,d)) and Seq(Par(a,b), Par(c,d)); Figure 2's trees are
+// Seq nodes nested inside Par branches.
+package graph
+
+import (
+	"fmt"
+	"strings"
+
+	"nfp/internal/packet"
+)
+
+// Node is a service graph node: NF, Seq or Par.
+type Node interface {
+	fmt.Stringer
+	isNode()
+}
+
+// NF is a single network function instance. Name is the NF type (an
+// nfa catalog name); Instance distinguishes multiple instances of the
+// same type in one graph.
+type NF struct {
+	Name     string
+	Instance int
+}
+
+func (NF) isNode() {}
+
+func (n NF) String() string {
+	if n.Instance == 0 {
+		return n.Name
+	}
+	return fmt.Sprintf("%s#%d", n.Name, n.Instance)
+}
+
+// Seq is sequential composition: packets traverse Items in order.
+type Seq struct {
+	Items []Node
+}
+
+func (Seq) isNode() {}
+
+func (s Seq) String() string {
+	parts := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		parts[i] = it.String()
+	}
+	return "(" + strings.Join(parts, " -> ") + ")"
+}
+
+// Par is parallel composition: every branch processes the packet
+// logically simultaneously, and a merger reconciles the results.
+type Par struct {
+	// Branches are the parallel sub-graphs.
+	Branches []Node
+
+	// Groups partitions branch indices into copy groups. Branches in
+	// Groups[0] share the incoming packet (no copy); each further
+	// group receives its own packet copy. A nil Groups means all
+	// branches share the original (pure no-copy parallelism).
+	Groups [][]int
+
+	// FullCopy marks copy groups (by group index) whose copies must be
+	// full packet copies rather than Header-Only copies because a
+	// branch NF touches the payload (§4.2 OP#2).
+	FullCopy []bool
+
+	// Ops are the merging operations applied at the join (§5.3),
+	// in application order.
+	Ops []MergeOp
+}
+
+func (Par) isNode() {}
+
+func (p Par) String() string {
+	parts := make([]string, len(p.Branches))
+	for i, b := range p.Branches {
+		parts[i] = b.String()
+	}
+	return "[" + strings.Join(parts, " || ") + "]"
+}
+
+// NormGroups returns the effective copy groups: Groups if set,
+// otherwise a single group containing every branch.
+func (p Par) NormGroups() [][]int {
+	if len(p.Groups) > 0 {
+		return p.Groups
+	}
+	all := make([]int, len(p.Branches))
+	for i := range all {
+		all[i] = i
+	}
+	return [][]int{all}
+}
+
+// CopiesPerPacket returns how many packet copies this join creates per
+// packet (number of copy groups beyond the first).
+func (p Par) CopiesPerPacket() int {
+	g := len(p.NormGroups())
+	if g == 0 {
+		return 0
+	}
+	return g - 1
+}
+
+// MergeOpKind discriminates the three merging operations of §5.3.
+type MergeOpKind uint8
+
+const (
+	// OpModify overwrites a field of the base copy with the same field
+	// of another version: modify(v1.A, v2.A).
+	OpModify MergeOpKind = iota
+	// OpAdd splices a field of another version into the base copy
+	// before/after an anchor field: add(v2.B, after, v1.A).
+	OpAdd
+	// OpRemove deletes a field from the base copy: remove(v1.C).
+	OpRemove
+)
+
+func (k MergeOpKind) String() string {
+	switch k {
+	case OpModify:
+		return "modify"
+	case OpAdd:
+		return "add"
+	case OpRemove:
+		return "remove"
+	}
+	return fmt.Sprintf("mo(%d)", uint8(k))
+}
+
+// MergeOp is one merging operation. The base copy is always version 1
+// of the join's incoming packet ("The original packet copy is tagged as
+// version v1 ... MOs record how to merge the rest of packet copies into
+// v1").
+type MergeOp struct {
+	Kind MergeOpKind
+	// SrcVersion is the packet version supplying bytes (Modify, Add).
+	SrcVersion uint8
+	// SrcField is the field read from SrcVersion (Modify, Add).
+	SrcField packet.Field
+	// DstField is the field of the base copy that is overwritten
+	// (Modify), used as the splice anchor (Add), or removed (Remove).
+	DstField packet.Field
+	// After places an added field after the anchor instead of before.
+	After bool
+}
+
+func (o MergeOp) String() string {
+	switch o.Kind {
+	case OpModify:
+		return fmt.Sprintf("modify(v1.%s, v%d.%s)", o.DstField, o.SrcVersion, o.SrcField)
+	case OpAdd:
+		pos := "before"
+		if o.After {
+			pos = "after"
+		}
+		return fmt.Sprintf("add(v%d.%s, %s, v1.%s)", o.SrcVersion, o.SrcField, pos, o.DstField)
+	case OpRemove:
+		return fmt.Sprintf("remove(v1.%s)", o.DstField)
+	}
+	return "mo(?)"
+}

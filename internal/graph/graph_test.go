@@ -1,0 +1,264 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nfp/internal/packet"
+)
+
+func nf(name string, inst int) NF { return NF{Name: name, Instance: inst} }
+
+// fig1b is the paper's Figure 1(b): VPN -> (Monitor || FW) -> LB.
+func fig1b() Node {
+	return Seq{Items: []Node{
+		nf("vpn", 0),
+		Par{Branches: []Node{nf("monitor", 0), nf("firewall", 0)}},
+		nf("lb", 0),
+	}}
+}
+
+// fig14 returns the six 4-NF structures of Figure 14.
+func fig14() []Node {
+	mk := func(i int) NF { return nf("firewall", i) }
+	return []Node{
+		// (1) sequential
+		Seq{Items: []Node{mk(0), mk(1), mk(2), mk(3)}},
+		// (2) 1+1+1+1
+		Par{Branches: []Node{mk(0), mk(1), mk(2), mk(3)}},
+		// (3) 1 -> 3
+		Seq{Items: []Node{mk(0), Par{Branches: []Node{mk(1), mk(2), mk(3)}}}},
+		// (4) 1+2+1
+		Seq{Items: []Node{mk(0), Par{Branches: []Node{mk(1), mk(2)}}, mk(3)}},
+		// (5) 1+3
+		Par{Branches: []Node{mk(0), Seq{Items: []Node{mk(1), mk(2), mk(3)}}}},
+		// (6) 2+2
+		Seq{Items: []Node{
+			Par{Branches: []Node{mk(0), mk(1)}},
+			Par{Branches: []Node{mk(2), mk(3)}},
+		}},
+	}
+}
+
+func TestEquivalentLength(t *testing.T) {
+	// §6.2.4: graph(2) has equivalent length 1; graph(5) has length 3.
+	wants := []int{4, 1, 2, 3, 3, 2}
+	for i, g := range fig14() {
+		if got := EquivalentLength(g); got != wants[i] {
+			t.Errorf("fig14 graph %d: length = %d, want %d", i+1, got, wants[i])
+		}
+	}
+	if got := EquivalentLength(fig1b()); got != 3 {
+		t.Errorf("fig1b length = %d, want 3 (25%% shorter than 4)", got)
+	}
+}
+
+func TestNFCountAndWalkOrder(t *testing.T) {
+	g := fig1b()
+	if got := NFCount(g); got != 4 {
+		t.Errorf("NFCount = %d", got)
+	}
+	var names []string
+	Walk(g, func(n NF) { names = append(names, n.Name) })
+	want := []string{"vpn", "monitor", "firewall", "lb"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("walk order = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	wants := []int{1, 4, 3, 2, 2, 2}
+	for i, g := range fig14() {
+		if got := MaxDegree(g); got != wants[i] {
+			t.Errorf("fig14 graph %d: degree = %d, want %d", i+1, got, wants[i])
+		}
+	}
+}
+
+func TestCopyGroupsAndCopies(t *testing.T) {
+	p := Par{
+		Branches: []Node{nf("monitor", 0), nf("lb", 0)},
+		Groups:   [][]int{{0}, {1}},
+	}
+	if p.CopiesPerPacket() != 1 {
+		t.Errorf("copies = %d, want 1", p.CopiesPerPacket())
+	}
+	shared := Par{Branches: []Node{nf("monitor", 0), nf("firewall", 0)}}
+	if shared.CopiesPerPacket() != 0 {
+		t.Errorf("no-copy par copies = %d", shared.CopiesPerPacket())
+	}
+	g := Seq{Items: []Node{p, shared}}
+	if TotalCopies(g) != 1 {
+		t.Errorf("total copies = %d", TotalCopies(g))
+	}
+	groups := shared.NormGroups()
+	if len(groups) != 1 || len(groups[0]) != 2 {
+		t.Errorf("NormGroups = %v", groups)
+	}
+}
+
+func TestValidateAcceptsPaperGraphs(t *testing.T) {
+	for i, g := range fig14() {
+		if err := Validate(g); err != nil {
+			t.Errorf("fig14 graph %d invalid: %v", i+1, err)
+		}
+	}
+	if err := Validate(fig1b()); err != nil {
+		t.Errorf("fig1b invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Node
+		want string
+	}{
+		{"duplicate instance", Seq{Items: []Node{nf("fw", 0), nf("fw", 0)}}, "duplicate"},
+		{"empty seq", Seq{}, "empty Seq"},
+		{"single-branch par", Par{Branches: []Node{nf("fw", 0)}}, "1 branches"},
+		{"nil node", nil, "nil node"},
+		{
+			"group out of range",
+			Par{Branches: []Node{nf("a", 0), nf("b", 0)}, Groups: [][]int{{0, 5}}},
+			"out of range",
+		},
+		{
+			"branch in two groups",
+			Par{Branches: []Node{nf("a", 0), nf("b", 0)}, Groups: [][]int{{0, 1}, {1}}},
+			"multiple copy groups",
+		},
+		{
+			"uncovered branch",
+			Par{Branches: []Node{nf("a", 0), nf("b", 0)}, Groups: [][]int{{0}}},
+			"cover",
+		},
+		{
+			"bad fullcopy length",
+			Par{
+				Branches: []Node{nf("a", 0), nf("b", 0)},
+				Groups:   [][]int{{0}, {1}},
+				FullCopy: []bool{true},
+			},
+			"FullCopy",
+		},
+		{
+			"merge op bad version",
+			Par{
+				Branches: []Node{nf("a", 0), nf("b", 0)},
+				Groups:   [][]int{{0}, {1}},
+				Ops: []MergeOp{{
+					Kind: OpModify, SrcVersion: 7,
+					SrcField: packet.FieldSrcIP, DstField: packet.FieldSrcIP,
+				}},
+			},
+			"version",
+		},
+	}
+	for _, c := range cases {
+		err := Validate(c.g)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestMergeOpStrings(t *testing.T) {
+	// Figure 6's example operations must render in the paper's syntax.
+	cases := map[string]MergeOp{
+		"modify(v1.sip, v2.sip)": {
+			Kind: OpModify, SrcVersion: 2,
+			SrcField: packet.FieldSrcIP, DstField: packet.FieldSrcIP,
+		},
+		"add(v2.ah, after, v1.ip)": {
+			Kind: OpAdd, SrcVersion: 2,
+			SrcField: packet.FieldAH, DstField: packet.FieldIPHeader, After: true,
+		},
+		"remove(v1.ah)": {Kind: OpRemove, DstField: packet.FieldAH},
+	}
+	for want, op := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	s := fig1b().String()
+	if !strings.Contains(s, "vpn") || !strings.Contains(s, "||") || !strings.Contains(s, "->") {
+		t.Errorf("String() = %q", s)
+	}
+	if got := nf("fw", 2).String(); got != "fw#2" {
+		t.Errorf("instance String = %q", got)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	dot := DOT(fig1b(), "fig1b")
+	for _, frag := range []string{"digraph", "vpn", "monitor", "firewall", "lb", "merge", "->"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+	withOps := Par{
+		Branches: []Node{nf("a", 0), nf("b", 0)},
+		Groups:   [][]int{{0}, {1}},
+		Ops: []MergeOp{{
+			Kind: OpModify, SrcVersion: 2,
+			SrcField: packet.FieldSrcIP, DstField: packet.FieldSrcIP,
+		}},
+	}
+	if !strings.Contains(DOT(withOps, "ops"), "modify") {
+		t.Error("DOT join label missing merge ops")
+	}
+}
+
+func TestGraphMetricsProperty(t *testing.T) {
+	// For random well-formed graphs: 1 ≤ EquivalentLength ≤ NFCount,
+	// MaxDegree ≤ NFCount, and Validate accepts them.
+	rng := rand.New(rand.NewSource(17))
+	var build func(depth int, next *int) Node
+	build = func(depth int, next *int) Node {
+		mk := func() Node {
+			n := NF{Name: "x", Instance: *next}
+			*next++
+			return n
+		}
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return mk()
+		}
+		k := 2 + rng.Intn(3)
+		children := make([]Node, k)
+		for i := range children {
+			children[i] = build(depth-1, next)
+		}
+		if rng.Intn(2) == 0 {
+			return Seq{Items: children}
+		}
+		return Par{Branches: children}
+	}
+	for trial := 0; trial < 300; trial++ {
+		next := 0
+		g := build(3, &next)
+		if err := Validate(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		n := NFCount(g)
+		l := EquivalentLength(g)
+		if l < 1 || l > n {
+			t.Fatalf("trial %d: length %d outside [1,%d] for %v", trial, l, n, g)
+		}
+		if d := MaxDegree(g); d < 1 || d > n {
+			t.Fatalf("trial %d: degree %d outside [1,%d]", trial, d, n)
+		}
+		if TotalCopies(g) != 0 {
+			t.Fatalf("trial %d: copies without groups", trial)
+		}
+		if len(NFs(g)) != n {
+			t.Fatalf("trial %d: NFs() inconsistent", trial)
+		}
+	}
+}

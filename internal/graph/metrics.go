@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EquivalentLength returns the equivalent chain length of the graph:
+// the longest NF path a packet traverses. The paper uses it to predict
+// the latency optimization effect ("a better latency optimization
+// effect for graphs with shorter equivalent chain length", §6.2.4).
+func EquivalentLength(n Node) int {
+	switch v := n.(type) {
+	case NF:
+		return 1
+	case Seq:
+		total := 0
+		for _, it := range v.Items {
+			total += EquivalentLength(it)
+		}
+		return total
+	case Par:
+		max := 0
+		for _, b := range v.Branches {
+			if l := EquivalentLength(b); l > max {
+				max = l
+			}
+		}
+		return max
+	case nil:
+		return 0
+	}
+	panic(fmt.Sprintf("graph: unknown node type %T", n))
+}
+
+// NFCount returns the number of NF instances in the graph.
+func NFCount(n Node) int {
+	count := 0
+	Walk(n, func(nf NF) { count++ })
+	return count
+}
+
+// NFs returns every NF instance in deterministic traversal order.
+func NFs(n Node) []NF {
+	var out []NF
+	Walk(n, func(nf NF) { out = append(out, nf) })
+	return out
+}
+
+// Walk visits every NF node in traversal order (Seq items in order,
+// Par branches in index order).
+func Walk(n Node, visit func(NF)) {
+	switch v := n.(type) {
+	case NF:
+		visit(v)
+	case Seq:
+		for _, it := range v.Items {
+			Walk(it, visit)
+		}
+	case Par:
+		for _, b := range v.Branches {
+			Walk(b, visit)
+		}
+	case nil:
+	default:
+		panic(fmt.Sprintf("graph: unknown node type %T", n))
+	}
+}
+
+// TotalCopies returns the total number of packet copies created per
+// packet across all joins of the graph — the resource-overhead driver
+// of §6.3.1.
+func TotalCopies(n Node) int {
+	switch v := n.(type) {
+	case NF, nil:
+		return 0
+	case Seq:
+		total := 0
+		for _, it := range v.Items {
+			total += TotalCopies(it)
+		}
+		return total
+	case Par:
+		total := v.CopiesPerPacket()
+		for _, b := range v.Branches {
+			total += TotalCopies(b)
+		}
+		return total
+	}
+	panic(fmt.Sprintf("graph: unknown node type %T", n))
+}
+
+// MaxDegree returns the widest parallel fan-out anywhere in the graph.
+func MaxDegree(n Node) int {
+	switch v := n.(type) {
+	case NF, nil:
+		return 1
+	case Seq:
+		max := 1
+		for _, it := range v.Items {
+			if d := MaxDegree(it); d > max {
+				max = d
+			}
+		}
+		return max
+	case Par:
+		max := len(v.Branches)
+		for _, b := range v.Branches {
+			if d := MaxDegree(b); d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	panic(fmt.Sprintf("graph: unknown node type %T", n))
+}
+
+// Validate checks structural invariants: no duplicate NF instances, no
+// empty Seq/Par, group partitions covering exactly the branch indices,
+// and merge-op versions within the 4-bit metadata space.
+func Validate(n Node) error {
+	seen := map[NF]bool{}
+	var check func(Node) error
+	check = func(n Node) error {
+		switch v := n.(type) {
+		case NF:
+			if seen[v] {
+				return fmt.Errorf("graph: duplicate NF instance %s", v)
+			}
+			seen[v] = true
+		case Seq:
+			if len(v.Items) == 0 {
+				return fmt.Errorf("graph: empty Seq")
+			}
+			for _, it := range v.Items {
+				if err := check(it); err != nil {
+					return err
+				}
+			}
+		case Par:
+			if len(v.Branches) < 2 {
+				return fmt.Errorf("graph: Par with %d branches", len(v.Branches))
+			}
+			covered := map[int]bool{}
+			for _, g := range v.NormGroups() {
+				for _, idx := range g {
+					if idx < 0 || idx >= len(v.Branches) {
+						return fmt.Errorf("graph: group index %d out of range", idx)
+					}
+					if covered[idx] {
+						return fmt.Errorf("graph: branch %d in multiple copy groups", idx)
+					}
+					covered[idx] = true
+				}
+			}
+			if len(covered) != len(v.Branches) {
+				return fmt.Errorf("graph: copy groups cover %d of %d branches",
+					len(covered), len(v.Branches))
+			}
+			if len(v.FullCopy) > 0 && len(v.FullCopy) != len(v.NormGroups()) {
+				return fmt.Errorf("graph: FullCopy has %d entries for %d groups",
+					len(v.FullCopy), len(v.NormGroups()))
+			}
+			for _, op := range v.Ops {
+				if (op.Kind == OpModify || op.Kind == OpAdd) &&
+					(op.SrcVersion < 1 || int(op.SrcVersion) > len(v.NormGroups())) {
+					return fmt.Errorf("graph: merge op %s references version %d of %d groups",
+						op, op.SrcVersion, len(v.NormGroups()))
+				}
+			}
+			for _, b := range v.Branches {
+				if err := check(b); err != nil {
+					return err
+				}
+			}
+		case nil:
+			return fmt.Errorf("graph: nil node")
+		default:
+			return fmt.Errorf("graph: unknown node type %T", n)
+		}
+		return nil
+	}
+	return check(n)
+}
+
+// DOT renders the graph in Graphviz dot syntax for inspection.
+func DOT(n Node, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box];\n", name)
+	id := 0
+	fresh := func(label, shape string) string {
+		id++
+		nm := fmt.Sprintf("n%d", id)
+		fmt.Fprintf(&b, "  %s [label=%q, shape=%s];\n", nm, label, shape)
+		return nm
+	}
+	// emit returns the entry and exit node names of the sub-graph.
+	var emit func(Node) (string, string)
+	emit = func(n Node) (string, string) {
+		switch v := n.(type) {
+		case NF:
+			nm := fresh(v.String(), "box")
+			return nm, nm
+		case Seq:
+			var entry, prev string
+			for i, it := range v.Items {
+				in, out := emit(it)
+				if i == 0 {
+					entry = in
+				} else {
+					fmt.Fprintf(&b, "  %s -> %s;\n", prev, in)
+				}
+				prev = out
+			}
+			return entry, prev
+		case Par:
+			fork := fresh("fork", "point")
+			join := fresh(joinLabel(v), "diamond")
+			for _, br := range v.Branches {
+				in, out := emit(br)
+				fmt.Fprintf(&b, "  %s -> %s;\n  %s -> %s;\n", fork, in, out, join)
+			}
+			return fork, join
+		}
+		panic(fmt.Sprintf("graph: unknown node type %T", n))
+	}
+	if n != nil {
+		emit(n)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func joinLabel(p Par) string {
+	if len(p.Ops) == 0 {
+		return "merge"
+	}
+	ops := make([]string, len(p.Ops))
+	for i, op := range p.Ops {
+		ops[i] = op.String()
+	}
+	sort.Strings(ops)
+	return "merge\\n" + strings.Join(ops, "\\n")
+}

@@ -1,0 +1,134 @@
+// Package mempool provides the pre-allocated packet buffer pool that
+// stands in for DPDK's hugepage mbuf pool (§5, Figure 3). All packet
+// memory — received packets and the copies created for parallel
+// branches — comes from a Pool, so the fast path performs no dynamic
+// allocation ("we prepare memory blocks to store input or copied packets
+// during the system initialization", §5.2).
+package mempool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"nfp/internal/packet"
+)
+
+// Pool is a fixed-capacity pool of packet buffers. It is safe for
+// concurrent use by multiple NF runtimes.
+type Pool struct {
+	bufSize int
+	cap     int
+	reserve int
+
+	mu   sync.Mutex
+	free []*packet.Packet
+
+	allocs   atomic.Uint64
+	frees    atomic.Uint64
+	failures atomic.Uint64
+}
+
+// New creates a pool of n buffers of bufSize bytes each. bufSize should
+// leave headroom above the MTU for AH insertion by the VPN NF.
+func New(n, bufSize int) *Pool {
+	if n <= 0 || bufSize <= 0 {
+		panic(fmt.Sprintf("mempool: invalid pool geometry n=%d bufSize=%d", n, bufSize))
+	}
+	p := &Pool{bufSize: bufSize, cap: n, free: make([]*packet.Packet, 0, n)}
+	backing := make([]byte, n*bufSize) // one slab, like a hugepage region
+	for i := 0; i < n; i++ {
+		pkt := &packet.Packet{}
+		buf := backing[i*bufSize : (i+1)*bufSize : (i+1)*bufSize]
+		pkt.Attach(buf, 0, p.put)
+		p.free = append(p.free, pkt)
+	}
+	return p
+}
+
+// SetReserve keeps k buffers out of reach of Get, available only to
+// GetReserved. The dataplane reserves buffers for the packet copies its
+// parallel stages create: without the reserve, a traffic source that
+// greedily drains the pool deadlocks the copy path (the source waits
+// for buffers that can only be freed once a copy is allocated).
+func (p *Pool) SetReserve(k int) {
+	if k < 0 || k >= p.cap {
+		panic(fmt.Sprintf("mempool: reserve %d out of range for pool of %d", k, p.cap))
+	}
+	p.mu.Lock()
+	p.reserve = k
+	p.mu.Unlock()
+}
+
+// Get returns a packet backed by a pool buffer, or nil if the pool is
+// exhausted down to the reserve. Exhaustion models receive-queue drops
+// under overload.
+func (p *Pool) Get() *packet.Packet {
+	return p.get(true)
+}
+
+// GetReserved is Get for the dataplane's internal copy path: it may
+// consume the reserved buffers.
+func (p *Pool) GetReserved() *packet.Packet {
+	return p.get(false)
+}
+
+func (p *Pool) get(honorReserve bool) *packet.Packet {
+	p.mu.Lock()
+	n := len(p.free)
+	if n == 0 || (honorReserve && n <= p.reserve) {
+		p.mu.Unlock()
+		p.failures.Add(1)
+		return nil
+	}
+	pkt := p.free[n-1]
+	p.free = p.free[:n-1]
+	p.mu.Unlock()
+	p.allocs.Add(1)
+	pkt.SetLen(0)
+	pkt.Meta = packet.Meta{}
+	pkt.Ingress = 0
+	pkt.Nil = false
+	pkt.Invalidate()
+	return pkt
+}
+
+// put returns a packet to the free list. Installed as the packet's
+// release hook so callers just call pkt.Free().
+func (p *Pool) put(pkt *packet.Packet) {
+	p.mu.Lock()
+	if len(p.free) == p.cap {
+		p.mu.Unlock()
+		panic("mempool: double free")
+	}
+	p.free = append(p.free, pkt)
+	p.mu.Unlock()
+	p.frees.Add(1)
+}
+
+// BufSize returns the size of each buffer.
+func (p *Pool) BufSize() int { return p.bufSize }
+
+// Cap returns the pool capacity in buffers.
+func (p *Pool) Cap() int { return p.cap }
+
+// Available returns the number of free buffers.
+func (p *Pool) Available() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Stats reports cumulative pool activity.
+type Stats struct {
+	Allocs, Frees, Failures uint64
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Allocs:   p.allocs.Load(),
+		Frees:    p.frees.Load(),
+		Failures: p.failures.Load(),
+	}
+}

@@ -1,0 +1,145 @@
+package mempool
+
+import (
+	"sync"
+	"testing"
+
+	"nfp/internal/packet"
+)
+
+func TestGetFreeCycle(t *testing.T) {
+	p := New(4, 256)
+	if p.Available() != 4 {
+		t.Fatalf("available = %d", p.Available())
+	}
+	pkts := make([]*packet.Packet, 0, 4)
+	for i := 0; i < 4; i++ {
+		pkt := p.Get()
+		if pkt == nil {
+			t.Fatalf("Get %d returned nil", i)
+		}
+		pkts = append(pkts, pkt)
+	}
+	if p.Get() != nil {
+		t.Error("exhausted pool returned a packet")
+	}
+	st := p.Stats()
+	if st.Allocs != 4 || st.Failures != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	for _, pkt := range pkts {
+		pkt.Free()
+	}
+	if p.Available() != 4 {
+		t.Errorf("after free available = %d", p.Available())
+	}
+	if p.Stats().Frees != 4 {
+		t.Errorf("frees = %d", p.Stats().Frees)
+	}
+}
+
+func TestGetResetsState(t *testing.T) {
+	p := New(1, 256)
+	pkt := p.Get()
+	pkt.SetLen(100)
+	pkt.Meta = packet.Meta{MID: 9, PID: 9, Version: 9}
+	pkt.Ingress = 123
+	pkt.Nil = true
+	pkt.Free()
+	pkt = p.Get()
+	if pkt.Len() != 0 || pkt.Meta != (packet.Meta{}) || pkt.Ingress != 0 || pkt.Nil {
+		t.Errorf("recycled packet not reset: len=%d meta=%+v", pkt.Len(), pkt.Meta)
+	}
+}
+
+func TestBuffersDoNotAlias(t *testing.T) {
+	p := New(2, 64)
+	a, b := p.Get(), p.Get()
+	ba, bb := a.Buffer(), b.Buffer()
+	for i := range ba {
+		ba[i] = 0xaa
+	}
+	for _, c := range bb {
+		if c == 0xaa {
+			t.Fatal("buffers alias")
+		}
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	p := New(1, 64)
+	pkt := p.Get()
+	pkt.Free()
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	pkt.Free()
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0, 0) did not panic")
+		}
+	}()
+	New(0, 0)
+}
+
+func TestConcurrentGetFree(t *testing.T) {
+	p := New(64, 128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				pkt := p.Get()
+				if pkt != nil {
+					pkt.SetLen(64)
+					pkt.Free()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Available() != 64 {
+		t.Errorf("leaked buffers: available = %d", p.Available())
+	}
+}
+
+func TestReserve(t *testing.T) {
+	p := New(8, 64)
+	p.SetReserve(3)
+	var got []*packet.Packet
+	for {
+		pkt := p.Get()
+		if pkt == nil {
+			break
+		}
+		got = append(got, pkt)
+	}
+	if len(got) != 5 {
+		t.Errorf("Get obtained %d buffers, want 5 (3 reserved)", len(got))
+	}
+	// The reserved path still reaches the remaining buffers.
+	for i := 0; i < 3; i++ {
+		if p.GetReserved() == nil {
+			t.Fatalf("GetReserved %d failed", i)
+		}
+	}
+	if p.GetReserved() != nil {
+		t.Error("empty pool returned a buffer")
+	}
+}
+
+func TestReserveValidation(t *testing.T) {
+	p := New(4, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetReserve(cap) did not panic")
+		}
+	}()
+	p.SetReserve(4)
+}

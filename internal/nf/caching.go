@@ -1,0 +1,83 @@
+package nf
+
+import (
+	"crypto/sha256"
+
+	"nfp/internal/nfa"
+	"nfp/internal/packet"
+)
+
+// Cache models Table 2's caching NF (Nginx): it observes requests
+// toward origin servers and maintains a content cache keyed by
+// (destination, destination port, request digest). Per its profile it
+// reads the destination address, destination port, and payload — it
+// never modifies packets, which is what lets the orchestrator
+// parallelize it freely.
+type Cache struct {
+	capacity int
+	entries  map[cacheKey]*CacheEntry
+	order    []cacheKey // FIFO eviction
+	hits     uint64
+	misses   uint64
+}
+
+type cacheKey struct {
+	dst    [4]byte
+	port   uint16
+	digest [8]byte
+}
+
+// CacheEntry records one cached object.
+type CacheEntry struct {
+	Hits uint64
+	Size int
+}
+
+// NewCache creates a cache with the given entry capacity.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Cache{capacity: capacity, entries: map[cacheKey]*CacheEntry{}}
+}
+
+// Name implements NF.
+func (c *Cache) Name() string { return nfa.NFCaching }
+
+// Profile implements NF.
+func (c *Cache) Profile() nfa.Profile { return profileFor(nfa.NFCaching) }
+
+// Process looks the request up and records a hit or inserts an entry.
+func (c *Cache) Process(p *packet.Packet) Verdict {
+	if err := p.Parse(); err != nil {
+		return Pass
+	}
+	payload := p.Payload()
+	if len(payload) == 0 {
+		return Pass
+	}
+	sum := sha256.Sum256(payload)
+	key := cacheKey{dst: p.DstIP().As4(), port: p.DstPort()}
+	copy(key.digest[:], sum[:8])
+
+	if e, ok := c.entries[key]; ok {
+		e.Hits++
+		c.hits++
+		return Pass
+	}
+	c.misses++
+	if len(c.order) >= c.capacity {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = &CacheEntry{Size: len(payload)}
+	c.order = append(c.order, key)
+	return Pass
+}
+
+// Stats returns (hits, misses).
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Len returns the number of cached objects.
+func (c *Cache) Len() int { return len(c.entries) }

@@ -1,0 +1,109 @@
+package nf
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"nfp/internal/flow"
+	"nfp/internal/nfa"
+	"nfp/internal/packet"
+)
+
+// DefaultACLSize is the evaluation firewall's rule count ("an Access
+// Control List (ACL) containing 100 rules", §6.1).
+const DefaultACLSize = 100
+
+// ACLAction is a firewall rule's disposition.
+type ACLAction uint8
+
+const (
+	// Allow passes matching packets.
+	Allow ACLAction = iota
+	// Deny drops matching packets.
+	Deny
+)
+
+// ACLRule is one 5-tuple filter rule, first-match-wins.
+type ACLRule struct {
+	Src, Dst             netip.Prefix
+	SrcPortLo, SrcPortHi uint16 // inclusive; 0,0xffff = any
+	DstPortLo, DstPortHi uint16
+	Proto                uint8 // 0 = any
+	Action               ACLAction
+}
+
+// Matches reports whether the rule covers the flow key.
+func (r ACLRule) Matches(k flow.Key) bool {
+	return r.Src.Contains(k.SrcIP) && r.Dst.Contains(k.DstIP) &&
+		k.SrcPort >= r.SrcPortLo && k.SrcPort <= r.SrcPortHi &&
+		k.DstPort >= r.DstPortLo && k.DstPort <= r.DstPortHi &&
+		(r.Proto == 0 || r.Proto == k.Proto)
+}
+
+// Firewall is a stateless packet filter "similar to the Click IPFilter
+// element. It passes or drops packets according to the ACL" (§6.1).
+type Firewall struct {
+	rules   []ACLRule
+	def     ACLAction
+	passed  uint64
+	dropped uint64
+}
+
+// NewFirewall builds a firewall with n synthetic deny rules over the
+// 172.16.0.0/12 space (so default generator traffic in 10/8 passes)
+// and a default-allow policy. All instances share the same seed.
+func NewFirewall(n int) (*Firewall, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("firewall: negative rule count %d", n)
+	}
+	fw := &Firewall{def: Allow}
+	rng := rand.New(rand.NewSource(0xac1))
+	for i := 0; i < n; i++ {
+		src := netip.AddrFrom4([4]byte{172, byte(16 + rng.Intn(16)), byte(rng.Intn(256)), 0})
+		pfx, _ := src.Prefix(24)
+		fw.rules = append(fw.rules, ACLRule{
+			Src: pfx, Dst: netip.MustParsePrefix("0.0.0.0/0"),
+			SrcPortLo: 0, SrcPortHi: 0xffff,
+			DstPortLo: 0, DstPortHi: 0xffff,
+			Action: Deny,
+		})
+	}
+	return fw, nil
+}
+
+// NewFirewallFromRules builds a firewall from an explicit ACL.
+func NewFirewallFromRules(rules []ACLRule, def ACLAction) *Firewall {
+	return &Firewall{rules: rules, def: def}
+}
+
+// Name implements NF.
+func (fw *Firewall) Name() string { return nfa.NFFirewall }
+
+// Profile implements NF.
+func (fw *Firewall) Profile() nfa.Profile { return profileFor(nfa.NFFirewall) }
+
+// Process walks the ACL first-match-wins.
+func (fw *Firewall) Process(p *packet.Packet) Verdict {
+	k, err := flow.FromPacket(p)
+	if err != nil {
+		fw.dropped++
+		return Drop // unparseable traffic is dropped, like a real filter
+	}
+	action := fw.def
+	for i := range fw.rules {
+		if fw.rules[i].Matches(k) {
+			action = fw.rules[i].Action
+			break
+		}
+	}
+	if action == Deny {
+		fw.dropped++
+		return Drop
+	}
+	fw.passed++
+	return Pass
+}
+
+// Stats returns (passed, dropped) packet counts.
+func (fw *Firewall) Stats() (passed, dropped uint64) { return fw.passed, fw.dropped }

@@ -1,0 +1,69 @@
+package nf
+
+import (
+	"net/netip"
+
+	"nfp/internal/nfa"
+	"nfp/internal/packet"
+)
+
+// Gateway models the conf/voice/media gateway of Table 2 (Cisco MGX):
+// it tracks media sessions by address pair and classifies each packet
+// into a session context. Per its profile it only reads the source and
+// destination addresses.
+type Gateway struct {
+	sessions map[[2]netip.Addr]*GatewaySession
+	packets  uint64
+}
+
+// GatewaySession is one tracked media session.
+type GatewaySession struct {
+	Peer    [2]netip.Addr
+	Packets uint64
+	Bytes   uint64
+}
+
+// NewGateway creates an empty gateway.
+func NewGateway() *Gateway {
+	return &Gateway{sessions: map[[2]netip.Addr]*GatewaySession{}}
+}
+
+// Name implements NF.
+func (g *Gateway) Name() string { return nfa.NFGateway }
+
+// Profile implements NF.
+func (g *Gateway) Profile() nfa.Profile { return profileFor(nfa.NFGateway) }
+
+// Process classifies the packet into its session (directionless: both
+// directions of a call share a context).
+func (g *Gateway) Process(p *packet.Packet) Verdict {
+	if err := p.Parse(); err != nil {
+		return Pass
+	}
+	a, b := p.SrcIP(), p.DstIP()
+	if b.Less(a) {
+		a, b = b, a
+	}
+	key := [2]netip.Addr{a, b}
+	s := g.sessions[key]
+	if s == nil {
+		s = &GatewaySession{Peer: key}
+		g.sessions[key] = s
+	}
+	s.Packets++
+	s.Bytes += uint64(p.Len())
+	g.packets++
+	return Pass
+}
+
+// Sessions returns the number of tracked sessions.
+func (g *Gateway) Sessions() int { return len(g.sessions) }
+
+// Session returns the context for an address pair, if tracked.
+func (g *Gateway) Session(a, b netip.Addr) (*GatewaySession, bool) {
+	if b.Less(a) {
+		a, b = b, a
+	}
+	s, ok := g.sessions[[2]netip.Addr{a, b}]
+	return s, ok
+}

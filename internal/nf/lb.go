@@ -1,0 +1,74 @@
+package nf
+
+import (
+	"fmt"
+	"net/netip"
+
+	"nfp/internal/flow"
+	"nfp/internal/nfa"
+	"nfp/internal/packet"
+)
+
+// DefaultBackendCount is the load balancer's backend pool size.
+const DefaultBackendCount = 16
+
+// LoadBalancer implements the "commonly used ECMP mechanism in data
+// centers that hashes the 5-tuple of the packet to balance the load"
+// (§6.1). Like the Ananta/Duet muxes it models, it rewrites the
+// destination address to the chosen backend and the source address to
+// its own VIP (source NAT), matching the Table 2 profile (R/W SIP,
+// R/W DIP, R SPORT, R DPORT).
+type LoadBalancer struct {
+	vip      netip.Addr
+	backends []netip.Addr
+	counts   []uint64
+}
+
+// NewLoadBalancer creates an ECMP load balancer with n backends at
+// 10.200.0.1..n and VIP 10.100.0.1.
+func NewLoadBalancer(n int) (*LoadBalancer, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("lb: need at least one backend, got %d", n)
+	}
+	lb := &LoadBalancer{
+		vip:    netip.MustParseAddr("10.100.0.1"),
+		counts: make([]uint64, n),
+	}
+	for i := 0; i < n; i++ {
+		lb.backends = append(lb.backends, netip.AddrFrom4([4]byte{10, 200, byte(i >> 8), byte(i + 1)}))
+	}
+	return lb, nil
+}
+
+// Name implements NF.
+func (lb *LoadBalancer) Name() string { return nfa.NFLB }
+
+// Profile implements NF.
+func (lb *LoadBalancer) Profile() nfa.Profile { return profileFor(nfa.NFLB) }
+
+// Process hashes the 5-tuple and rewrites src/dst addresses.
+func (lb *LoadBalancer) Process(p *packet.Packet) Verdict {
+	k, err := flow.FromPacket(p)
+	if err != nil {
+		return Pass
+	}
+	i := int(k.Hash() % uint64(len(lb.backends)))
+	lb.counts[i]++
+	p.SetDstIP(lb.backends[i])
+	p.SetSrcIP(lb.vip)
+	p.UpdateL4Checksum() // address rewrite invalidates the TCP/UDP checksum
+	return Pass
+}
+
+// Backend returns the backend a flow key maps to (for tests and for
+// verifying ECMP stability).
+func (lb *LoadBalancer) Backend(k flow.Key) netip.Addr {
+	return lb.backends[int(k.Hash()%uint64(len(lb.backends)))]
+}
+
+// Counts returns per-backend packet counts.
+func (lb *LoadBalancer) Counts() []uint64 {
+	out := make([]uint64, len(lb.counts))
+	copy(out, lb.counts)
+	return out
+}

@@ -1,0 +1,106 @@
+package nf
+
+import (
+	"sort"
+
+	"nfp/internal/flow"
+	"nfp/internal/nfa"
+	"nfp/internal/packet"
+)
+
+// FlowStats are the per-flow counters a Monitor maintains.
+type FlowStats struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+// Monitor "maintains per-flow counters, which can be obtained by the
+// operator. The counter table uses the hash value of the 5-tuple as
+// the key" (§6.1). It is the canonical read-only NF of the paper's
+// parallelism examples (Figure 1).
+type Monitor struct {
+	counters map[flow.Key]*FlowStats
+	total    FlowStats
+}
+
+// NewMonitor creates an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{counters: make(map[flow.Key]*FlowStats)}
+}
+
+// Name implements NF.
+func (m *Monitor) Name() string { return nfa.NFMonitor }
+
+// Profile implements NF.
+func (m *Monitor) Profile() nfa.Profile { return profileFor(nfa.NFMonitor) }
+
+// Process counts the packet against its flow.
+func (m *Monitor) Process(p *packet.Packet) Verdict {
+	k, err := flow.FromPacket(p)
+	if err != nil {
+		return Pass
+	}
+	st := m.counters[k]
+	if st == nil {
+		st = &FlowStats{}
+		m.counters[k] = st
+	}
+	st.Packets++
+	st.Bytes += uint64(p.Len())
+	m.total.Packets++
+	m.total.Bytes += uint64(p.Len())
+	return Pass
+}
+
+// Flow returns the counters of one flow.
+func (m *Monitor) Flow(k flow.Key) (FlowStats, bool) {
+	st, ok := m.counters[k]
+	if !ok {
+		return FlowStats{}, false
+	}
+	return *st, true
+}
+
+// Total returns the aggregate counters.
+func (m *Monitor) Total() FlowStats { return m.total }
+
+// FlowCount returns the number of tracked flows.
+func (m *Monitor) FlowCount() int { return len(m.counters) }
+
+// TopFlows returns up to n flows by packet count, descending.
+func (m *Monitor) TopFlows(n int) []flow.Key {
+	keys := make([]flow.Key, 0, len(m.counters))
+	for k := range m.counters {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := m.counters[keys[i]], m.counters[keys[j]]
+		if a.Packets != b.Packets {
+			return a.Packets > b.Packets
+		}
+		return keys[i].String() < keys[j].String()
+	})
+	if len(keys) > n {
+		keys = keys[:n]
+	}
+	return keys
+}
+
+// FlowRecord pairs a flow key with its counters, for export.
+type FlowRecord struct {
+	Key   flow.Key
+	Stats FlowStats
+}
+
+// Snapshot returns all tracked flows in deterministic (sorted) order,
+// the input to the NetFlow exporter.
+func (m *Monitor) Snapshot() []FlowRecord {
+	out := make([]FlowRecord, 0, len(m.counters))
+	for k, st := range m.counters {
+		out = append(out, FlowRecord{Key: k, Stats: *st})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Key.String() < out[j].Key.String()
+	})
+	return out
+}

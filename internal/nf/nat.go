@@ -1,0 +1,103 @@
+package nf
+
+import (
+	"fmt"
+	"net/netip"
+
+	"nfp/internal/flow"
+	"nfp/internal/nfa"
+	"nfp/internal/packet"
+)
+
+// NAT implements dynamic source NAT in the style of iptables MASQUERADE
+// (Table 2's NAT row: R/W on the whole 5-tuple): outbound flows get the
+// NAT's external address and an allocated external port; the reverse
+// mapping restores inbound packets.
+type NAT struct {
+	external netip.Addr
+	nextPort uint16
+	// forward maps internal flow -> allocated external source port.
+	forward map[flow.Key]uint16
+	// reverse maps external port -> internal (srcIP, srcPort).
+	reverse map[uint16]natBinding
+}
+
+type natBinding struct {
+	addr netip.Addr
+	port uint16
+}
+
+// NewNAT creates a NAT with external address 203.0.113.1 and an
+// ephemeral port range starting at 20000.
+func NewNAT() (*NAT, error) {
+	return &NAT{
+		external: netip.MustParseAddr("203.0.113.1"),
+		nextPort: 20000,
+		forward:  map[flow.Key]uint16{},
+		reverse:  map[uint16]natBinding{},
+	}, nil
+}
+
+// Name implements NF.
+func (n *NAT) Name() string { return nfa.NFNAT }
+
+// Profile implements NF.
+func (n *NAT) Profile() nfa.Profile { return profileFor(nfa.NFNAT) }
+
+// Process translates outbound packets (anything not addressed to the
+// external address) and reverses inbound ones.
+func (n *NAT) Process(p *packet.Packet) Verdict {
+	k, err := flow.FromPacket(p)
+	if err != nil {
+		return Pass
+	}
+	if k.DstIP == n.external {
+		// Inbound: restore the internal binding.
+		b, ok := n.reverse[k.DstPort]
+		if !ok {
+			return Drop // no binding: unsolicited inbound
+		}
+		p.SetDstIP(b.addr)
+		p.SetDstPort(b.port)
+		p.UpdateL4Checksum()
+		return Pass
+	}
+	// Outbound: allocate or reuse a binding.
+	ext, ok := n.forward[k]
+	if !ok {
+		ext = n.allocPort()
+		if ext == 0 {
+			return Drop // port space exhausted
+		}
+		n.forward[k] = ext
+		n.reverse[ext] = natBinding{addr: k.SrcIP, port: k.SrcPort}
+	}
+	p.SetSrcIP(n.external)
+	p.SetSrcPort(ext)
+	p.UpdateL4Checksum()
+	return Pass
+}
+
+func (n *NAT) allocPort() uint16 {
+	for tries := 0; tries < 0xffff; tries++ {
+		port := n.nextPort
+		n.nextPort++
+		if n.nextPort == 0 {
+			n.nextPort = 20000
+		}
+		if _, used := n.reverse[port]; !used && port != 0 {
+			return port
+		}
+	}
+	return 0
+}
+
+// Bindings returns the number of active translations.
+func (n *NAT) Bindings() int { return len(n.forward) }
+
+// External returns the NAT's public address.
+func (n *NAT) External() netip.Addr { return n.external }
+
+func (n *NAT) String() string {
+	return fmt.Sprintf("NAT{ext=%s, bindings=%d}", n.external, len(n.forward))
+}

@@ -1,0 +1,134 @@
+package nf
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"nfp/internal/flow"
+)
+
+// StatefulNF is implemented by NFs whose internal state can be
+// exported and imported. It is the §7 scaling primitive: "we could
+// simply create a new instance on a VM or container, migrate some
+// states [OpenNF, Split/Merge], and modify the forwarding table to
+// redirect some flows to the new instance."
+//
+// ImportState merges the serialized state into the receiver (additive
+// for counters, union for tables), so partial migrations compose.
+type StatefulNF interface {
+	NF
+	ExportState() ([]byte, error)
+	ImportState([]byte) error
+}
+
+// monitorState is the Monitor's serialized form.
+type monitorState struct {
+	Flows []FlowRecord
+}
+
+// ExportState implements StatefulNF: the full per-flow counter table.
+func (m *Monitor) ExportState() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(monitorState{Flows: m.Snapshot()}); err != nil {
+		return nil, fmt.Errorf("monitor: export: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// ImportState implements StatefulNF: counters merge additively, so a
+// migrated instance continues exactly where the source left off.
+func (m *Monitor) ImportState(b []byte) error {
+	var st monitorState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return fmt.Errorf("monitor: import: %w", err)
+	}
+	for _, fr := range st.Flows {
+		cur := m.counters[fr.Key]
+		if cur == nil {
+			cur = &FlowStats{}
+			m.counters[fr.Key] = cur
+		}
+		cur.Packets += fr.Stats.Packets
+		cur.Bytes += fr.Stats.Bytes
+		m.total.Packets += fr.Stats.Packets
+		m.total.Bytes += fr.Stats.Bytes
+	}
+	return nil
+}
+
+// natState is the NAT's serialized form.
+type natState struct {
+	Bindings []natBindingDTO
+	NextPort uint16
+}
+
+type natBindingDTO struct {
+	Flow    flow.Key
+	ExtPort uint16
+}
+
+// ExportState implements StatefulNF: the translation table.
+func (n *NAT) ExportState() ([]byte, error) {
+	st := natState{NextPort: n.nextPort}
+	for k, ext := range n.forward {
+		st.Bindings = append(st.Bindings, natBindingDTO{Flow: k, ExtPort: ext})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("nat: export: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// ImportState implements StatefulNF: bindings union in; existing
+// bindings win conflicts (the source's traffic already depends on
+// them). The port allocator resumes past both allocators' positions.
+func (n *NAT) ImportState(b []byte) error {
+	var st natState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return fmt.Errorf("nat: import: %w", err)
+	}
+	for _, bd := range st.Bindings {
+		if _, exists := n.forward[bd.Flow]; exists {
+			continue
+		}
+		if _, used := n.reverse[bd.ExtPort]; used {
+			// Port collision across instances: reallocate locally.
+			port := n.allocPort()
+			if port == 0 {
+				return fmt.Errorf("nat: import: port space exhausted")
+			}
+			n.forward[bd.Flow] = port
+			n.reverse[port] = natBinding{addr: bd.Flow.SrcIP, port: bd.Flow.SrcPort}
+			continue
+		}
+		n.forward[bd.Flow] = bd.ExtPort
+		n.reverse[bd.ExtPort] = natBinding{addr: bd.Flow.SrcIP, port: bd.Flow.SrcPort}
+	}
+	if st.NextPort > n.nextPort {
+		n.nextPort = st.NextPort
+	}
+	return nil
+}
+
+// Migrate transfers state from src to dst; both must be the same NF
+// type implementing StatefulNF.
+func Migrate(src, dst NF) error {
+	s, ok := src.(StatefulNF)
+	if !ok {
+		return fmt.Errorf("nf: %s does not export state", src.Name())
+	}
+	d, ok := dst.(StatefulNF)
+	if !ok {
+		return fmt.Errorf("nf: %s does not import state", dst.Name())
+	}
+	if src.Name() != dst.Name() {
+		return fmt.Errorf("nf: cannot migrate %s state into %s", src.Name(), dst.Name())
+	}
+	b, err := s.ExportState()
+	if err != nil {
+		return err
+	}
+	return d.ImportState(b)
+}

@@ -1,0 +1,96 @@
+package nfa
+
+import "fmt"
+
+// ConflictPair records one conflicting action pair found by Algorithm 1
+// (its "ca" output). The orchestrator turns conflict pairs into merging
+// operations (§5.3).
+type ConflictPair struct {
+	A1, A2 Action
+}
+
+func (c ConflictPair) String() string {
+	return fmt.Sprintf("(%s,%s)", c.A1, c.A2)
+}
+
+// Result is the output of Algorithm 1 for an ordered NF pair.
+type Result struct {
+	// Parallelizable is the algorithm's p output.
+	Parallelizable bool
+	// Conflicts is the algorithm's ca output; non-empty Conflicts mean
+	// packet copying is required for parallel execution.
+	Conflicts []ConflictPair
+}
+
+// NeedCopy reports whether parallel execution requires packet copying.
+func (r Result) NeedCopy() bool {
+	return r.Parallelizable && len(r.Conflicts) > 0
+}
+
+// Verdict compresses the result to a single CellVerdict.
+func (r Result) Verdict() CellVerdict {
+	switch {
+	case !r.Parallelizable:
+		return NotParallelizable
+	case len(r.Conflicts) > 0:
+		return ParallelWithCopy
+	default:
+		return ParallelNoCopy
+	}
+}
+
+// Options tune the analysis.
+type Options struct {
+	// DisableDirtyMemoryReusing turns off OP#1 (§4.2): read-write and
+	// write-write pairs on *different* fields then require a packet
+	// copy instead of sharing one. The paper offers this switch for
+	// operators who prefer strictly isolated copies; it trades memory
+	// for the elimination of any chance of false sharing.
+	DisableDirtyMemoryReusing bool
+}
+
+// Analyze runs Algorithm 1 ("NF Parallelism Identification") on
+// Order(nf1, before, nf2): it fetches both action lists, walks every
+// action pair against the dependency table, short-circuits on a
+// not-parallelizable pair, and accumulates conflicting actions that
+// force packet copying.
+func Analyze(nf1, nf2 Profile, opts Options) Result {
+	res := Result{Parallelizable: true}
+	for _, a1 := range nf1.Actions {
+		for _, a2 := range nf2.Actions {
+			v := Decide(a1, a2)
+			if opts.DisableDirtyMemoryReusing && v == ParallelNoCopy && dirtyReuseCell(a1, a2) {
+				v = ParallelWithCopy
+			}
+			switch v {
+			case NotParallelizable:
+				return Result{Parallelizable: false}
+			case ParallelWithCopy:
+				res.Conflicts = append(res.Conflicts, ConflictPair{a1, a2})
+			}
+		}
+	}
+	return res
+}
+
+// dirtyReuseCell reports whether (a1, a2) landed in a green cell only
+// because of the Dirty Memory Reusing different-fields refinement —
+// i.e. a read-write or write-write pair on disjoint fields.
+func dirtyReuseCell(a1, a2 Action) bool {
+	rw := a1.Op == OpRead && a2.Op == OpWrite
+	ww := a1.Op == OpWrite && a2.Op == OpWrite
+	return (rw || ww) && !a1.Field.Overlaps(a2.Field)
+}
+
+// AnalyzePriority runs Algorithm 1 for a Priority(high > low) rule. Two
+// NFs in a Priority rule are parallelized unconditionally — the operator
+// asserted the intent — but the algorithm is still needed to find the
+// conflicting actions that decide copying and merging (§4.3). The pair
+// is analyzed in low-before-high order so that the merge prefers the
+// high-priority NF's output, mirroring how an Order rule's later NF
+// wins.
+func AnalyzePriority(high, low Profile, opts Options) Result {
+	res := Analyze(low, high, opts)
+	res.Parallelizable = true
+	return res
+}

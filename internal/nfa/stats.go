@@ -1,0 +1,54 @@
+package nfa
+
+// PairStats summarizes Algorithm 1 over a weighted NF population — the
+// study behind the paper's headline numbers (§1, §4.3): "53.8% NF pairs
+// can work in parallel. In particular, 41.5% pairs can be parallelized
+// without causing extra resource overhead."
+type PairStats struct {
+	// Pairs is the number of ordered NF pairs considered.
+	Pairs int
+	// Parallelizable is the weighted fraction of pairs that can run in
+	// parallel (with or without copying).
+	Parallelizable float64
+	// NoCopy is the weighted fraction parallelizable without copying.
+	NoCopy float64
+	// WithCopy is the weighted fraction that needs packet copies.
+	WithCopy float64
+}
+
+// WeightedPairStats runs Algorithm 1 on every ordered pair of profiles
+// that carry a deployment share, weighting each pair by the product of
+// the two NFs' shares ("according to the algorithm output and the
+// appearance probabilities of the NF pairs"). Profiles with a zero
+// share are excluded, as the paper's percentages only cover the
+// surveyed rows.
+func WeightedPairStats(catalog []Profile, opts Options) PairStats {
+	var weighted []Profile
+	for _, p := range catalog {
+		if p.DeployShare > 0 {
+			weighted = append(weighted, p)
+		}
+	}
+	var st PairStats
+	var totalW, parW, ncW float64
+	for _, p1 := range weighted {
+		for _, p2 := range weighted {
+			w := p1.DeployShare * p2.DeployShare
+			totalW += w
+			st.Pairs++
+			res := Analyze(p1, p2, opts)
+			if res.Parallelizable {
+				parW += w
+				if !res.NeedCopy() {
+					ncW += w
+				}
+			}
+		}
+	}
+	if totalW > 0 {
+		st.Parallelizable = parW / totalW
+		st.NoCopy = ncW / totalW
+		st.WithCopy = (parW - ncW) / totalW
+	}
+	return st
+}

@@ -1,0 +1,105 @@
+package packet
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// BuildSpec describes a synthetic packet for the traffic generator and
+// tests. Size is the full Ethernet frame length; if it is smaller than
+// the minimum header chain it is raised to the minimum.
+type BuildSpec struct {
+	SrcMAC, DstMAC [6]byte
+	SrcIP, DstIP   netip.Addr
+	Proto          uint8 // ProtoTCP or ProtoUDP
+	SrcPort        uint16
+	DstPort        uint16
+	TTL            uint8
+	Size           int    // total frame bytes including headers
+	Payload        []byte // optional explicit payload; overrides Size fill
+}
+
+// MinFrameLen is the shortest frame Build produces (Eth+IPv4+UDP).
+const MinFrameLen = EthHeaderLen + IPv4HeaderLen + UDPHeaderLen
+
+// BuildInto encodes the spec into p's buffer. The buffer must be large
+// enough for the requested size.
+func BuildInto(p *Packet, spec BuildSpec) {
+	if spec.TTL == 0 {
+		spec.TTL = 64
+	}
+	if spec.Proto == 0 {
+		spec.Proto = ProtoTCP
+	}
+	l4len := UDPHeaderLen
+	if spec.Proto == ProtoTCP {
+		l4len = TCPHeaderLen
+	}
+	hdr := EthHeaderLen + IPv4HeaderLen + l4len
+	size := spec.Size
+	if spec.Payload != nil {
+		size = hdr + len(spec.Payload)
+	}
+	if size < hdr {
+		size = hdr
+	}
+	if size > len(p.buf) {
+		panic("packet: BuildInto size exceeds buffer")
+	}
+	b := p.buf[:size]
+	for i := range b {
+		b[i] = 0
+	}
+
+	// Ethernet.
+	copy(b[0:6], spec.DstMAC[:])
+	copy(b[6:12], spec.SrcMAC[:])
+	binary.BigEndian.PutUint16(b[12:14], EtherTypeIPv4)
+
+	// IPv4.
+	ip := b[EthHeaderLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:4], uint16(size-EthHeaderLen))
+	ip[8] = spec.TTL
+	ip[9] = spec.Proto
+	src := spec.SrcIP.As4()
+	dst := spec.DstIP.As4()
+	copy(ip[12:16], src[:])
+	copy(ip[16:20], dst[:])
+
+	// L4.
+	l4 := ip[IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(l4[0:2], spec.SrcPort)
+	binary.BigEndian.PutUint16(l4[2:4], spec.DstPort)
+	switch spec.Proto {
+	case ProtoTCP:
+		l4[12] = 5 << 4 // data offset 5 words
+	case ProtoUDP:
+		binary.BigEndian.PutUint16(l4[4:6], uint16(size-EthHeaderLen-IPv4HeaderLen))
+	}
+
+	if spec.Payload != nil {
+		copy(b[hdr:], spec.Payload)
+	}
+
+	p.wire = size
+	p.Invalidate()
+	p.fixIPChecksum(Layout{L3Off: EthHeaderLen})
+	p.UpdateL4Checksum()
+}
+
+// Build allocates a standalone packet (no pool) from the spec. Intended
+// for tests; the dataplane always builds into pool buffers.
+func Build(spec BuildSpec) *Packet {
+	size := spec.Size
+	if spec.Payload != nil {
+		size = EthHeaderLen + IPv4HeaderLen + TCPHeaderLen + len(spec.Payload) + 8
+	}
+	if size < MinFrameLen {
+		size = MinFrameLen + TCPHeaderLen
+	}
+	// Leave headroom for AH insertion by the VPN NF.
+	p := New(make([]byte, size+2*AHHeaderLen))
+	BuildInto(p, spec)
+	return p
+}

@@ -1,0 +1,95 @@
+package packet
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func csumSpec(proto uint8, payload string) BuildSpec {
+	return BuildSpec{
+		SrcIP: netip.MustParseAddr("10.1.2.3"), DstIP: netip.MustParseAddr("10.4.5.6"),
+		Proto: proto, SrcPort: 1234, DstPort: 80,
+		Payload: []byte(payload),
+	}
+}
+
+func TestBuildProducesValidL4Checksums(t *testing.T) {
+	for _, proto := range []uint8{ProtoTCP, ProtoUDP} {
+		p := Build(csumSpec(proto, "checksum me please"))
+		if !p.VerifyL4Checksum() {
+			t.Errorf("proto %d: built packet fails L4 verification", proto)
+		}
+	}
+	// Odd payload lengths exercise the padding path.
+	p := Build(csumSpec(ProtoTCP, "odd"))
+	if !p.VerifyL4Checksum() {
+		t.Error("odd-length payload fails verification")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	p := Build(csumSpec(ProtoTCP, "some payload bytes"))
+	pl := p.Payload()
+	pl[0] ^= 0x01
+	if p.VerifyL4Checksum() {
+		t.Error("corrupted payload passes verification")
+	}
+	p.UpdateL4Checksum()
+	if !p.VerifyL4Checksum() {
+		t.Error("recomputed checksum does not verify")
+	}
+}
+
+func TestChecksumAfterTupleRewrite(t *testing.T) {
+	p := Build(csumSpec(ProtoTCP, "rewrite test"))
+	p.SetSrcIP(netip.MustParseAddr("10.9.9.9"))
+	p.SetDstPort(443)
+	if p.VerifyL4Checksum() {
+		t.Error("stale checksum passes after rewrite (pseudo-header changed)")
+	}
+	p.UpdateL4Checksum()
+	if !p.VerifyL4Checksum() {
+		t.Error("updated checksum fails")
+	}
+}
+
+func TestChecksumNoL4(t *testing.T) {
+	// Unknown L4 protocol: nothing to do, nothing to fail.
+	p := Build(csumSpec(ProtoTCP, "x"))
+	p.Bytes()[EthHeaderLen+9] = 99 // bogus protocol
+	p.Invalidate()
+	p.UpdateL4Checksum()
+	if !p.VerifyL4Checksum() {
+		t.Error("non-TCP/UDP packet reported invalid")
+	}
+	// Unparseable packet: no-op.
+	garbage := New(make([]byte, 6))
+	garbage.UpdateL4Checksum()
+	if !garbage.VerifyL4Checksum() {
+		t.Error("unparseable packet reported invalid")
+	}
+}
+
+func TestUDPZeroChecksumIsDisabled(t *testing.T) {
+	p := Build(csumSpec(ProtoUDP, "udp data"))
+	l, _ := p.Layout()
+	// Zero the checksum: RFC 768 "checksum disabled".
+	p.Bytes()[l.L4Off+6] = 0
+	p.Bytes()[l.L4Off+7] = 0
+	if !p.VerifyL4Checksum() {
+		t.Error("disabled UDP checksum treated as invalid")
+	}
+}
+
+func TestHeaderOnlyCopyChecksumConsistency(t *testing.T) {
+	// A header-only copy has a truncated segment; VerifyL4Checksum must
+	// not read past the wire and must not panic.
+	src := Build(csumSpec(ProtoTCP, "long payload that will be cut off entirely"))
+	dst := New(make([]byte, 128))
+	HeaderOnlyCopy(src, dst, 2)
+	_ = dst.VerifyL4Checksum() // value unspecified; absence of panic is the contract
+	dst.UpdateL4Checksum()
+	if !dst.VerifyL4Checksum() {
+		t.Error("header-only copy checksum not self-consistent after update")
+	}
+}

@@ -1,0 +1,148 @@
+// Package pcap reads and writes classic libpcap capture files
+// (the tcpdump format), so NFP dataplane traffic can be captured and
+// inspected with standard tooling — the debugging path the paper's
+// correctness replay (§6.4) relies on.
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+const (
+	magicMicros  = 0xa1b2c3d4
+	versionMajor = 2
+	versionMinor = 4
+	// LinkTypeEthernet is DLT_EN10MB.
+	LinkTypeEthernet = 1
+
+	fileHeaderLen   = 24
+	packetHeaderLen = 16
+)
+
+// Writer emits a pcap stream. Create with NewWriter, which writes the
+// file header immediately.
+type Writer struct {
+	w       io.Writer
+	snaplen uint32
+	packets uint64
+}
+
+// NewWriter writes the global header and returns a Writer. A zero
+// snaplen defaults to 65535.
+func NewWriter(w io.Writer, snaplen uint32) (*Writer, error) {
+	if snaplen == 0 {
+		snaplen = 65535
+	}
+	var h [fileHeaderLen]byte
+	binary.LittleEndian.PutUint32(h[0:4], magicMicros)
+	binary.LittleEndian.PutUint16(h[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(h[6:8], versionMinor)
+	// thiszone (8:12) and sigfigs (12:16) stay zero.
+	binary.LittleEndian.PutUint32(h[16:20], snaplen)
+	binary.LittleEndian.PutUint32(h[20:24], LinkTypeEthernet)
+	if _, err := w.Write(h[:]); err != nil {
+		return nil, fmt.Errorf("pcap: %w", err)
+	}
+	return &Writer{w: w, snaplen: snaplen}, nil
+}
+
+// WritePacket appends one captured frame with the given timestamp.
+// Frames longer than the snap length are truncated on disk with the
+// original length preserved in the record header.
+func (w *Writer) WritePacket(ts time.Time, data []byte) error {
+	capLen := uint32(len(data))
+	if capLen > w.snaplen {
+		capLen = w.snaplen
+	}
+	var h [packetHeaderLen]byte
+	binary.LittleEndian.PutUint32(h[0:4], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(h[4:8], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(h[8:12], capLen)
+	binary.LittleEndian.PutUint32(h[12:16], uint32(len(data)))
+	if _, err := w.w.Write(h[:]); err != nil {
+		return fmt.Errorf("pcap: %w", err)
+	}
+	if _, err := w.w.Write(data[:capLen]); err != nil {
+		return fmt.Errorf("pcap: %w", err)
+	}
+	w.packets++
+	return nil
+}
+
+// Packets returns the number of frames written.
+func (w *Writer) Packets() uint64 { return w.packets }
+
+// Packet is one frame read back from a capture.
+type Packet struct {
+	Timestamp time.Time
+	// OrigLen is the original wire length; len(Data) may be smaller if
+	// the capture truncated at the snap length.
+	OrigLen uint32
+	Data    []byte
+}
+
+// Reader parses a pcap stream written by this package (or tcpdump with
+// microsecond timestamps and Ethernet link type).
+type Reader struct {
+	r       io.Reader
+	snaplen uint32
+}
+
+// NewReader validates the global header.
+func NewReader(r io.Reader) (*Reader, error) {
+	var h [fileHeaderLen]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return nil, fmt.Errorf("pcap: %w", err)
+	}
+	if binary.LittleEndian.Uint32(h[0:4]) != magicMicros {
+		return nil, fmt.Errorf("pcap: bad magic %#x", binary.LittleEndian.Uint32(h[0:4]))
+	}
+	if lt := binary.LittleEndian.Uint32(h[20:24]); lt != LinkTypeEthernet {
+		return nil, fmt.Errorf("pcap: link type %d, want Ethernet", lt)
+	}
+	return &Reader{r: r, snaplen: binary.LittleEndian.Uint32(h[16:20])}, nil
+}
+
+// Next returns the next packet, or io.EOF at end of capture.
+func (r *Reader) Next() (Packet, error) {
+	var h [packetHeaderLen]byte
+	if _, err := io.ReadFull(r.r, h[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Packet{}, fmt.Errorf("pcap: truncated record header")
+		}
+		return Packet{}, err
+	}
+	capLen := binary.LittleEndian.Uint32(h[8:12])
+	if capLen > r.snaplen {
+		return Packet{}, fmt.Errorf("pcap: record length %d exceeds snaplen %d", capLen, r.snaplen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Packet{}, fmt.Errorf("pcap: truncated record body")
+	}
+	return Packet{
+		Timestamp: time.Unix(
+			int64(binary.LittleEndian.Uint32(h[0:4])),
+			int64(binary.LittleEndian.Uint32(h[4:8]))*1000),
+		OrigLen: binary.LittleEndian.Uint32(h[12:16]),
+		Data:    data,
+	}, nil
+}
+
+// ReadAll drains the capture.
+func (r *Reader) ReadAll() ([]Packet, error) {
+	var out []Packet
+	for {
+		p, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}

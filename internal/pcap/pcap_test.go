@@ -1,0 +1,121 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"nfp/internal/packet"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := [][]byte{
+		packet.Build(packet.BuildSpec{
+			SrcIP: netip.MustParseAddr("10.0.0.1"), DstIP: netip.MustParseAddr("10.0.0.2"),
+			SrcPort: 1, DstPort: 2, Size: 64,
+		}).Bytes(),
+		packet.Build(packet.BuildSpec{
+			SrcIP: netip.MustParseAddr("10.0.0.3"), DstIP: netip.MustParseAddr("10.0.0.4"),
+			Proto: packet.ProtoUDP, SrcPort: 5, DstPort: 6, Size: 200,
+		}).Bytes(),
+	}
+	base := time.Unix(1700000000, 123456000)
+	for i, f := range frames {
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Second), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Packets() != 2 {
+		t.Errorf("packets = %d", w.Packets())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d packets", len(got))
+	}
+	for i, p := range got {
+		if !bytes.Equal(p.Data, frames[i]) {
+			t.Errorf("packet %d bytes differ", i)
+		}
+		if p.OrigLen != uint32(len(frames[i])) {
+			t.Errorf("packet %d origlen = %d", i, p.OrigLen)
+		}
+		want := base.Add(time.Duration(i) * time.Second)
+		if p.Timestamp.Unix() != want.Unix() {
+			t.Errorf("packet %d ts = %v", i, p.Timestamp)
+		}
+		// Microsecond precision survives.
+		if p.Timestamp.Nanosecond() != 123456000 {
+			t.Errorf("packet %d ns = %d", i, p.Timestamp.Nanosecond())
+		}
+		// The payload still parses as a packet.
+		if err := packet.New(p.Data).Parse(); err != nil {
+			t.Errorf("packet %d unparseable: %v", i, err)
+		}
+	}
+}
+
+func TestSnaplenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 300)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := w.WritePacket(time.Unix(1, 0), big); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(&buf)
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 60 || p.OrigLen != 300 {
+		t.Errorf("caplen=%d origlen=%d", len(p.Data), p.OrigLen)
+	}
+	if !bytes.Equal(p.Data, big[:60]) {
+		t.Error("truncated bytes differ")
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+	bad := make([]byte, 24)
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Valid header but truncated record.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	w.WritePacket(time.Unix(1, 0), []byte{1, 2, 3, 4})
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("truncated record accepted")
+	}
+}

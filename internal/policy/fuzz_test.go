@@ -1,0 +1,37 @@
+package policy
+
+import "testing"
+
+// FuzzParse throws arbitrary text at the policy parser: it must never
+// panic, and whatever parses must re-parse identically from its own
+// String() rendering (canonicalization is a fixed point).
+func FuzzParse(f *testing.F) {
+	f.Add("Order(VPN, before, Monitor)")
+	f.Add("Priority(IPS > Firewall)")
+	f.Add("Position(VPN, first)")
+	f.Add("Chain(a, b, c)\n# comment\nPosition(z, last)")
+	f.Add("Order(A, before, B) # trailing comment")
+	f.Add("order(a,before,b)")
+	f.Add("Priority(>)")
+	f.Add("((((")
+	f.Fuzz(func(t *testing.T, text string) {
+		pol, err := ParseString(text)
+		if err != nil {
+			return
+		}
+		again, err := ParseString(pol.String())
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %q: %v", pol.String(), err)
+		}
+		if len(again.Rules) != len(pol.Rules) {
+			t.Fatalf("rule count changed on re-parse: %d -> %d", len(pol.Rules), len(again.Rules))
+		}
+		for i := range pol.Rules {
+			if again.Rules[i] != pol.Rules[i] {
+				t.Fatalf("rule %d changed: %v -> %v", i, pol.Rules[i], again.Rules[i])
+			}
+		}
+		// Validation must not panic either.
+		_ = pol.Validate()
+	})
+}

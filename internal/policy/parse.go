@@ -1,0 +1,116 @@
+package policy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads a textual policy, one rule per line, in the syntax the
+// paper uses in Table 1:
+//
+//	Order(VPN, before, Monitor)
+//	Priority(IPS > Firewall)
+//	Position(VPN, first)
+//	Chain(VPN, Monitor, Firewall, LB)   # sugar for consecutive Orders
+//
+// '#' starts a comment; blank lines are ignored. NF names are
+// case-preserved but matched case-insensitively on keywords.
+func Parse(r io.Reader) (Policy, error) {
+	var p Policy
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		rule, chain, err := parseLine(line)
+		if err != nil {
+			return Policy{}, fmt.Errorf("policy line %d: %w", lineno, err)
+		}
+		if chain != nil {
+			p.Rules = append(p.Rules, FromChain(chain...).Rules...)
+		} else {
+			p.Rules = append(p.Rules, rule)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Policy{}, fmt.Errorf("policy: %w", err)
+	}
+	return p, nil
+}
+
+// ParseString parses a policy from a string.
+func ParseString(s string) (Policy, error) { return Parse(strings.NewReader(s)) }
+
+func parseLine(line string) (Rule, []string, error) {
+	open := strings.IndexByte(line, '(')
+	if open < 0 || !strings.HasSuffix(line, ")") {
+		return Rule{}, nil, fmt.Errorf("expected Keyword(...), got %q", line)
+	}
+	keyword := strings.ToLower(strings.TrimSpace(line[:open]))
+	body := line[open+1 : len(line)-1]
+
+	switch keyword {
+	case "order":
+		parts := splitArgs(body)
+		if len(parts) != 3 || !strings.EqualFold(parts[1], "before") {
+			return Rule{}, nil, fmt.Errorf("Order needs (NF1, before, NF2), got %q", body)
+		}
+		return Order(parts[0], parts[2]), nil, nil
+
+	case "priority":
+		parts := strings.Split(body, ">")
+		if len(parts) != 2 {
+			return Rule{}, nil, fmt.Errorf("Priority needs (NF1 > NF2), got %q", body)
+		}
+		hi, lo := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+		if hi == "" || lo == "" {
+			return Rule{}, nil, fmt.Errorf("Priority needs two NF names, got %q", body)
+		}
+		return Priority(hi, lo), nil, nil
+
+	case "position":
+		parts := splitArgs(body)
+		if len(parts) != 2 {
+			return Rule{}, nil, fmt.Errorf("Position needs (NF, first|last), got %q", body)
+		}
+		var place Place
+		switch strings.ToLower(parts[1]) {
+		case "first":
+			place = First
+		case "last":
+			place = Last
+		default:
+			return Rule{}, nil, fmt.Errorf("Position place must be first or last, got %q", parts[1])
+		}
+		return Position(parts[0], place), nil, nil
+
+	case "chain":
+		parts := splitArgs(body)
+		if len(parts) < 1 {
+			return Rule{}, nil, fmt.Errorf("Chain needs at least one NF")
+		}
+		return Rule{}, parts, nil
+	}
+	return Rule{}, nil, fmt.Errorf("unknown rule keyword %q", keyword)
+}
+
+func splitArgs(body string) []string {
+	raw := strings.Split(body, ",")
+	out := make([]string, 0, len(raw))
+	for _, s := range raw {
+		s = strings.TrimSpace(s)
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+// Package ring implements the per-NF receive/transmit ring buffers of
+// the NFP infrastructure (§5, Figure 3): bounded single-producer
+// single-consumer queues of packet references, lock-free, cache-friendly.
+//
+// "An NF simply writes packet references into the receive ring buffer of
+// the other NF to realize packet delivery" — Enqueue/Dequeue move only
+// pointers, never packet bytes.
+package ring
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"nfp/internal/packet"
+)
+
+// Ring is a lock-free SPSC ring of packet references. Exactly one
+// goroutine may call Enqueue and exactly one may call Dequeue. Multiple
+// producers must serialize externally (the NFP graph guarantees a single
+// upstream writer per receive ring; fan-in points use an MPSC wrapper).
+type Ring struct {
+	mask uint64
+	buf  []atomic.Pointer[packet.Packet]
+
+	_    [56]byte // pad head/tail onto separate cache lines
+	head atomic.Uint64
+	_    [56]byte
+	tail atomic.Uint64
+}
+
+// New creates a ring with the given capacity, rounded up to a power of
+// two (minimum 2).
+func New(capacity int) *Ring {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{mask: uint64(n - 1), buf: make([]atomic.Pointer[packet.Packet], n)}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the approximate number of queued references.
+func (r *Ring) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Enqueue appends a packet reference. It returns false when the ring is
+// full (the caller decides whether to drop or retry; NFP runtimes retry,
+// modeling backpressure toward the upstream ring).
+func (r *Ring) Enqueue(p *packet.Packet) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[tail&r.mask].Store(p)
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// Dequeue removes and returns the oldest packet reference, or nil if
+// the ring is empty.
+func (r *Ring) Dequeue() *packet.Packet {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return nil
+	}
+	p := r.buf[head&r.mask].Load()
+	r.buf[head&r.mask].Store(nil)
+	r.head.Store(head + 1)
+	return p
+}
+
+// DequeueBatch fills out with up to len(out) references and returns the
+// count, modeling DPDK burst receive.
+func (r *Ring) DequeueBatch(out []*packet.Packet) int {
+	n := 0
+	for n < len(out) {
+		p := r.Dequeue()
+		if p == nil {
+			break
+		}
+		out[n] = p
+		n++
+	}
+	return n
+}
+
+// MPSC serializes multiple producers in front of a Ring. NFP uses it at
+// fan-in points: several parallel NF runtimes deliver into the merger
+// agent's single receive ring.
+type MPSC struct {
+	ring *Ring
+	lock atomic.Uint32 // spinlock: producers are short critical sections
+}
+
+// NewMPSC wraps a fresh ring of the given capacity.
+func NewMPSC(capacity int) *MPSC {
+	return &MPSC{ring: New(capacity)}
+}
+
+// Enqueue appends a reference from any goroutine.
+func (m *MPSC) Enqueue(p *packet.Packet) bool {
+	for !m.lock.CompareAndSwap(0, 1) {
+		runtime.Gosched() // single-core friendly: let the holder run
+	}
+	ok := m.ring.Enqueue(p)
+	m.lock.Store(0)
+	return ok
+}
+
+// Dequeue removes the oldest reference; single consumer only.
+func (m *MPSC) Dequeue() *packet.Packet { return m.ring.Dequeue() }
+
+// Len returns the approximate queue length.
+func (m *MPSC) Len() int { return m.ring.Len() }
+
+// Cap returns the ring capacity.
+func (m *MPSC) Cap() int { return m.ring.Cap() }

@@ -1,0 +1,185 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"nfp/internal/packet"
+)
+
+func mkPkt(pid uint64) *packet.Packet {
+	p := packet.New(make([]byte, 64))
+	p.Meta.PID = pid
+	return p
+}
+
+func TestCapacityRounding(t *testing.T) {
+	for _, c := range []struct{ in, want int }{
+		{1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024},
+	} {
+		if got := New(c.in).Cap(); got != c.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	r := New(8)
+	for i := uint64(0); i < 8; i++ {
+		if !r.Enqueue(mkPkt(i)) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if r.Enqueue(mkPkt(99)) {
+		t.Error("enqueue into full ring succeeded")
+	}
+	if r.Len() != 8 {
+		t.Errorf("len = %d", r.Len())
+	}
+	for i := uint64(0); i < 8; i++ {
+		p := r.Dequeue()
+		if p == nil || p.Meta.PID != i {
+			t.Fatalf("dequeue %d: got %v", i, p)
+		}
+	}
+	if r.Dequeue() != nil {
+		t.Error("dequeue from empty ring returned a packet")
+	}
+}
+
+func TestDequeueBatch(t *testing.T) {
+	r := New(16)
+	for i := uint64(0); i < 5; i++ {
+		r.Enqueue(mkPkt(i))
+	}
+	out := make([]*packet.Packet, 8)
+	n := r.DequeueBatch(out)
+	if n != 5 {
+		t.Fatalf("batch = %d, want 5", n)
+	}
+	for i := 0; i < 5; i++ {
+		if out[i].Meta.PID != uint64(i) {
+			t.Errorf("batch order: out[%d].PID = %d", i, out[i].Meta.PID)
+		}
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	r := New(4)
+	// Cycle many times past the capacity to exercise index wrapping.
+	for round := uint64(0); round < 100; round++ {
+		for i := uint64(0); i < 3; i++ {
+			if !r.Enqueue(mkPkt(round*3 + i)) {
+				t.Fatalf("round %d enqueue failed", round)
+			}
+		}
+		for i := uint64(0); i < 3; i++ {
+			p := r.Dequeue()
+			if p.Meta.PID != round*3+i {
+				t.Fatalf("round %d: got pid %d want %d", round, p.Meta.PID, round*3+i)
+			}
+		}
+	}
+}
+
+func TestSPSCConcurrent(t *testing.T) {
+	r := New(64)
+	const total = 20000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < total; {
+			if r.Enqueue(mkPkt(i)) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	var got uint64
+	for got < total {
+		p := r.Dequeue()
+		if p == nil {
+			runtime.Gosched()
+			continue
+		}
+		if p.Meta.PID != got {
+			t.Fatalf("out of order: got %d want %d", p.Meta.PID, got)
+		}
+		got++
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Errorf("residual len = %d", r.Len())
+	}
+}
+
+func TestMPSCConcurrentProducers(t *testing.T) {
+	m := NewMPSC(128)
+	const producers = 8
+	const perProducer = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < perProducer; {
+				if m.Enqueue(mkPkt(id*perProducer + i)) {
+					i++
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(uint64(w))
+	}
+	seen := make(map[uint64]bool, producers*perProducer)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		p := m.Dequeue()
+		if p == nil {
+			select {
+			case <-done:
+				if p = m.Dequeue(); p == nil {
+					goto check
+				}
+			default:
+				runtime.Gosched()
+				continue
+			}
+		}
+		if seen[p.Meta.PID] {
+			t.Fatalf("duplicate pid %d", p.Meta.PID)
+		}
+		seen[p.Meta.PID] = true
+	}
+check:
+	if len(seen) != producers*perProducer {
+		t.Errorf("received %d packets, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestLenNeverExceedsCapProperty(t *testing.T) {
+	// For any interleaving of enqueues/dequeues driven by a boolean
+	// script, 0 <= Len() <= Cap() always holds.
+	f := func(script []bool) bool {
+		r := New(8)
+		for _, enq := range script {
+			if enq {
+				r.Enqueue(mkPkt(0))
+			} else {
+				r.Dequeue()
+			}
+			if r.Len() < 0 || r.Len() > r.Cap() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

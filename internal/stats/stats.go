@@ -1,0 +1,154 @@
+// Package stats provides the measurement helpers of the evaluation:
+// latency recording with percentiles, throughput metering, and the
+// resource-overhead model of §6.3.1.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Latency accumulates latency samples (nanoseconds).
+type Latency struct {
+	samples []int64
+	sorted  bool
+}
+
+// NewLatency creates a recorder with capacity hint n.
+func NewLatency(n int) *Latency {
+	return &Latency{samples: make([]int64, 0, n)}
+}
+
+// Record adds one sample.
+func (l *Latency) Record(ns int64) {
+	l.samples = append(l.samples, ns)
+	l.sorted = false
+}
+
+// Count returns the number of samples.
+func (l *Latency) Count() int { return len(l.samples) }
+
+// Mean returns the average sample in nanoseconds.
+func (l *Latency) Mean() float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range l.samples {
+		sum += float64(s)
+	}
+	return sum / float64(len(l.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) in nanoseconds.
+func (l *Latency) Percentile(p float64) int64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+	idx := int(math.Ceil(p/100*float64(len(l.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(l.samples) {
+		idx = len(l.samples) - 1
+	}
+	return l.samples[idx]
+}
+
+// Median returns the 50th percentile.
+func (l *Latency) Median() int64 { return l.Percentile(50) }
+
+// MeanMicros returns the mean in microseconds — the paper's unit.
+func (l *Latency) MeanMicros() float64 { return l.Mean() / 1e3 }
+
+func (l *Latency) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fµs p50=%.1fµs p99=%.1fµs",
+		l.Count(), l.MeanMicros(),
+		float64(l.Median())/1e3, float64(l.Percentile(99))/1e3)
+}
+
+// Throughput measures a packet rate over a wall-clock window.
+type Throughput struct {
+	packets uint64
+	bytes   uint64
+	start   time.Time
+	end     time.Time
+}
+
+// StartNow begins the measurement window.
+func (t *Throughput) StartNow() { t.start = time.Now() }
+
+// StopNow ends the measurement window.
+func (t *Throughput) StopNow() { t.end = time.Now() }
+
+// Add accumulates n packets totalling b bytes.
+func (t *Throughput) Add(n, b uint64) {
+	t.packets += n
+	t.bytes += b
+}
+
+// Elapsed returns the window length.
+func (t *Throughput) Elapsed() time.Duration {
+	end := t.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return end.Sub(t.start)
+}
+
+// PPS returns packets per second.
+func (t *Throughput) PPS() float64 {
+	el := t.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(t.packets) / el
+}
+
+// Mpps returns millions of packets per second — the paper's unit.
+func (t *Throughput) Mpps() float64 { return t.PPS() / 1e6 }
+
+// Gbps returns the payload bit rate in gigabits per second.
+func (t *Throughput) Gbps() float64 {
+	el := t.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(t.bytes) * 8 / el / 1e9
+}
+
+// ResourceOverhead evaluates the §6.3.1 model: with Header-Only
+// Copying, a parallelism degree of d costs 64·(d−1) extra bytes per
+// packet of size s, i.e. ro = 64×(d−1)/s.
+func ResourceOverhead(pktSize, degree int) float64 {
+	if pktSize <= 0 || degree <= 1 {
+		return 0
+	}
+	return 64 * float64(degree-1) / float64(pktSize)
+}
+
+// MeanResourceOverhead weighs ResourceOverhead by a packet-size
+// distribution's mean, reproducing the paper's ro = 0.088×(d−1) for
+// the datacenter mixture (mean ≈724 B).
+func MeanResourceOverhead(meanPktSize float64, degree int) float64 {
+	if meanPktSize <= 0 || degree <= 1 {
+		return 0
+	}
+	return 64 * float64(degree-1) / meanPktSize
+}
+
+// LineRatePPS returns the 10GbE line rate in packets per second for a
+// frame size (adding the 20B inter-frame gap + preamble the paper's
+// "Line Speed" series includes): 14.88 Mpps at 64 B.
+func LineRatePPS(frameSize int) float64 {
+	if frameSize < 64 {
+		frameSize = 64
+	}
+	return 10e9 / (float64(frameSize+20) * 8)
+}

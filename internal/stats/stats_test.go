@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestLatencyBasics(t *testing.T) {
+	l := NewLatency(10)
+	for _, s := range []int64{1000, 2000, 3000, 4000, 5000} {
+		l.Record(s)
+	}
+	if l.Count() != 5 {
+		t.Errorf("count = %d", l.Count())
+	}
+	if l.Mean() != 3000 {
+		t.Errorf("mean = %.1f", l.Mean())
+	}
+	if l.Median() != 3000 {
+		t.Errorf("median = %d", l.Median())
+	}
+	if l.Percentile(100) != 5000 || l.Percentile(1) != 1000 {
+		t.Errorf("percentiles wrong")
+	}
+	if l.MeanMicros() != 3 {
+		t.Errorf("mean µs = %.1f", l.MeanMicros())
+	}
+	if l.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestLatencyEmptyAndUnsorted(t *testing.T) {
+	l := NewLatency(0)
+	if l.Mean() != 0 || l.Percentile(50) != 0 {
+		t.Error("empty recorder not zero")
+	}
+	// Recording after a percentile query must re-sort.
+	l.Record(5000)
+	if l.Percentile(50) != 5000 {
+		t.Error("p50 wrong")
+	}
+	l.Record(1000)
+	if l.Percentile(50) != 1000 {
+		t.Errorf("p50 after insert = %d", l.Percentile(50))
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	var th Throughput
+	th.StartNow()
+	th.Add(1000, 64000)
+	time.Sleep(10 * time.Millisecond)
+	th.StopNow()
+	pps := th.PPS()
+	if pps <= 0 || pps > 1000/0.010*1.5 {
+		t.Errorf("pps = %.0f", pps)
+	}
+	if th.Mpps() != pps/1e6 {
+		t.Error("Mpps inconsistent")
+	}
+	if th.Gbps() <= 0 {
+		t.Error("Gbps = 0")
+	}
+	var idle Throughput
+	idle.StartNow()
+	idle.StopNow()
+	if idle.PPS() != 0 && idle.Elapsed() > 0 {
+		// Zero packets: rate must be 0.
+		t.Errorf("idle pps = %.1f", idle.PPS())
+	}
+}
+
+func TestResourceOverheadModel(t *testing.T) {
+	// §6.3.1: ro = 64×(d−1)/s.
+	cases := []struct {
+		size, degree int
+		want         float64
+	}{
+		{64, 2, 1.0},
+		{1500, 2, 64.0 / 1500},
+		{724, 2, 64.0 / 724},
+		{724, 5, 4 * 64.0 / 724},
+		{724, 1, 0},
+		{0, 2, 0},
+	}
+	for _, c := range cases {
+		if got := ResourceOverhead(c.size, c.degree); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("ro(%d,%d) = %.4f, want %.4f", c.size, c.degree, got, c.want)
+		}
+	}
+	// The paper's datacenter figure: ro ≈ 0.088×(d−1) at mean 724 B.
+	got := MeanResourceOverhead(724, 2)
+	if math.Abs(got-0.0884) > 0.001 {
+		t.Errorf("mean ro = %.4f, want ≈0.088", got)
+	}
+	if MeanResourceOverhead(724, 5) <= got {
+		t.Error("overhead must grow with degree")
+	}
+	if MeanResourceOverhead(0, 2) != 0 || MeanResourceOverhead(724, 1) != 0 {
+		t.Error("degenerate cases not zero")
+	}
+}
+
+func TestLineRate(t *testing.T) {
+	// 64B at 10GbE: 14.88 Mpps; 1500B: 0.822 Mpps.
+	if got := LineRatePPS(64) / 1e6; math.Abs(got-14.88) > 0.01 {
+		t.Errorf("line rate 64B = %.2f Mpps", got)
+	}
+	if got := LineRatePPS(1500) / 1e6; math.Abs(got-0.8224) > 0.001 {
+		t.Errorf("line rate 1500B = %.4f Mpps", got)
+	}
+	if LineRatePPS(10) != LineRatePPS(64) {
+		t.Error("sub-minimum frames not clamped")
+	}
+}

@@ -1,0 +1,100 @@
+package trafficgen
+
+import (
+	"testing"
+
+	"nfp/internal/packet"
+)
+
+func TestFixedDist(t *testing.T) {
+	f := Fixed(128)
+	if f.Next() != 128 || f.Mean() != 128 {
+		t.Error("fixed dist broken")
+	}
+}
+
+func TestDataCenterMeanApprox724(t *testing.T) {
+	d := NewDataCenter(1)
+	if m := d.Mean(); m < 700 || m < 0 || m > 750 {
+		t.Errorf("analytic mean = %.1f, want ≈724", m)
+	}
+	// Empirical mean over many samples tracks the analytic one.
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s := d.Next()
+		if s < 64 || s > 1500 {
+			t.Fatalf("sample %d outside [64,1500]", s)
+		}
+		sum += float64(s)
+	}
+	mean := sum / n
+	if mean < 690 || mean > 760 {
+		t.Errorf("empirical mean = %.1f, want ≈724", mean)
+	}
+}
+
+func TestDataCenterBimodal(t *testing.T) {
+	d := NewDataCenter(2)
+	counts := map[int]int{}
+	for i := 0; i < 10000; i++ {
+		counts[d.Next()]++
+	}
+	// The two modes dominate (the IMC'10 shape).
+	if counts[64] < 3500 || counts[1500] < 3500 {
+		t.Errorf("modes too small: %v", counts)
+	}
+	if counts[200]+counts[576] > 2000 {
+		t.Errorf("middle too heavy: %v", counts)
+	}
+}
+
+func TestGeneratorDeterminismAndCycling(t *testing.T) {
+	a := New(Config{Flows: 4, Seed: 9})
+	b := New(Config{Flows: 4, Seed: 9})
+	for i := 0; i < 12; i++ {
+		sa, sb := a.Next(), b.Next()
+		if sa.SrcIP != sb.SrcIP || sa.SrcPort != sb.SrcPort || sa.Size != sb.Size {
+			t.Fatalf("generators diverge at %d", i)
+		}
+	}
+	if a.Count() != 12 {
+		t.Errorf("count = %d", a.Count())
+	}
+	// Round-robin: spec 0 and spec 4 are the same flow.
+	c := New(Config{Flows: 4, Seed: 9})
+	s0 := c.Next()
+	c.Next()
+	c.Next()
+	c.Next()
+	s4 := c.Next()
+	if s0.SrcIP != s4.SrcIP || s0.SrcPort != s4.SrcPort {
+		t.Error("flows do not cycle")
+	}
+	if c.Flows() != 4 {
+		t.Errorf("flows = %d", c.Flows())
+	}
+}
+
+func TestGeneratorSpecsBuildValidPackets(t *testing.T) {
+	g := New(Config{Flows: 8, Sizes: NewDataCenter(3), Seed: 5})
+	for i := 0; i < 100; i++ {
+		p := packet.Build(g.Next())
+		if err := p.Parse(); err != nil {
+			t.Fatalf("packet %d unparseable: %v", i, err)
+		}
+		if p.Protocol() != packet.ProtoTCP {
+			t.Errorf("proto = %d", p.Protocol())
+		}
+	}
+}
+
+func TestGeneratorDefaults(t *testing.T) {
+	g := New(Config{})
+	if g.Flows() != 64 {
+		t.Errorf("default flows = %d", g.Flows())
+	}
+	if s := g.Next(); s.Size != 64 {
+		t.Errorf("default size = %d", s.Size)
+	}
+}
