@@ -7,17 +7,25 @@
 //	nfpd -chain ids,monitor,lb -packets 20000
 //	nfpd -policy chain.pol -packets 50000 -size dc
 //	nfpd -chain monitor,firewall -baseline onvm
+//	nfpd -chain ids,monitor,lb -telemetry-addr :9090 -trace-sample 64
+//
+// With -telemetry-addr the process keeps serving metrics after the
+// traffic run finishes, until interrupted. nfpd exits non-zero when the
+// buffer pool leaked.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"nfp/internal/core"
+	"nfp/internal/dataplane"
 	"nfp/internal/experiments"
 	"nfp/internal/graph"
 	"nfp/internal/nf"
@@ -25,30 +33,49 @@ import (
 	"nfp/internal/packet"
 	"nfp/internal/pcap"
 	"nfp/internal/policy"
+	"nfp/internal/telemetry"
 	"nfp/internal/trafficgen"
 )
 
 func main() {
+	leak := run()
+	if leak != 0 {
+		fmt.Fprintf(os.Stderr, "nfpd: pool leak: %d buffers still in use\n", leak)
+		os.Exit(1)
+	}
+}
+
+// run executes the selected mode and returns the pool-leak gauge (the
+// process exit gate). It, not main, owns the deferred cleanups so they
+// survive the exit-code decision.
+func run() int {
 	policyPath := flag.String("policy", "", "policy file")
 	chain := flag.String("chain", "", "comma-separated sequential chain")
 	packets := flag.Int("packets", 20000, "number of packets to push")
 	size := flag.String("size", "64", "frame size in bytes, or 'dc' for the datacenter mixture")
 	flows := flag.Int("flows", 64, "distinct flows")
+	seed := flag.Int64("seed", 0, "traffic generator seed (0 = derive from the clock; set for reproducible runs)")
 	baseline := flag.String("baseline", "", "run a baseline instead: 'onvm' or 'rtc'")
 	pcapPath := flag.String("pcap", "", "capture output packets to this pcap file")
 	idsRules := flag.String("ids-rules", "", "Snort-subset rule file; replaces the built-in IDS signatures")
 	noParallel := flag.Bool("no-parallel", false, "compile sequentially (NFP compatibility mode)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics and /debug/telemetry on this address (keeps serving after the run until interrupted)")
+	traceSample := flag.Int("trace-sample", 0, "trace ~1/N packets hop-by-hop (0 = off; rounded down to a power of two)")
+	withPprof := flag.Bool("pprof", false, "also mount /debug/pprof on the telemetry address")
 	flag.Parse()
 
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
 	pol, names, err := loadPolicy(*policyPath, *chain)
 	if err != nil {
 		fail(err)
 	}
-	sizes, err := parseSizes(*size)
+	sizes, err := parseSizesSeeded(*size, *seed)
 	if err != nil {
 		fail(err)
 	}
-	gen := trafficgen.New(trafficgen.Config{Flows: *flows, Sizes: sizes, Seed: time.Now().UnixNano()})
+	gen := trafficgen.New(trafficgen.Config{Flows: *flows, Sizes: sizes, Seed: *seed})
 
 	switch *baseline {
 	case "onvm":
@@ -57,14 +84,14 @@ func main() {
 			fail(err)
 		}
 		report("OpenNetVM baseline: "+strings.Join(names, " -> "), res)
-		return
+		return res.PoolLeak
 	case "rtc":
 		res, err := experiments.RunLiveRTC(names, 1, *packets, gen)
 		if err != nil {
 			fail(err)
 		}
 		report("run-to-completion baseline: "+strings.Join(names, " -> "), res)
-		return
+		return res.PoolLeak
 	case "":
 	default:
 		fail(fmt.Errorf("unknown baseline %q (onvm, rtc)", *baseline))
@@ -91,10 +118,12 @@ func main() {
 	fmt.Printf("compiled graph:    %s\n", res.Graph)
 	fmt.Printf("equivalent length: %d of %d NFs, %d copies/packet\n",
 		graph.EquivalentLength(res.Graph), graph.NFCount(res.Graph), graph.TotalCopies(res.Graph))
+	fmt.Printf("seed:              %d (rerun with -seed %d to reproduce)\n", *seed, *seed)
 	for _, w := range res.Warnings {
 		fmt.Printf("warning:           %s\n", w)
 	}
-	var tap func(*packet.Packet)
+
+	opts := experiments.LiveOptions{TraceSampleRate: *traceSample}
 	if *pcapPath != "" {
 		f, err := os.Create(*pcapPath)
 		if err != nil {
@@ -105,10 +134,25 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		tap = func(p *packet.Packet) { _ = w.WritePacket(time.Now(), p.Bytes()) }
+		opts.Tap = func(p *packet.Packet) { _ = w.WritePacket(time.Now(), p.Bytes()) }
 		defer func() { fmt.Printf("  pcap:            %d packets -> %s\n", w.Packets(), *pcapPath) }()
 	}
-	live, err := experiments.RunLiveGraphTap(res.Graph, *packets, gen, false, tap)
+	if *telemetryAddr != "" {
+		// The registry outlives the run so /metrics stays truthful after
+		// the traffic stops. The HTTP server binds from the OnServer
+		// hook — after the dataplane starts (so the handler can reach
+		// its tracer) but before the first packet is injected, so the
+		// endpoint observes the run live.
+		opts.Telemetry = telemetry.NewRegistry()
+		opts.OnServer = func(s *dataplane.Server) {
+			_, bound, err := telemetry.Serve(*telemetryAddr, opts.Telemetry, s.Tracer(), *withPprof)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("telemetry:         http://%s/metrics (and /debug/telemetry)\n", bound)
+		}
+	}
+	live, err := experiments.RunLiveGraphOpts(res.Graph, *packets, gen, opts)
 	if err != nil {
 		fail(err)
 	}
@@ -119,6 +163,16 @@ func main() {
 	if live.Copies > 0 {
 		fmt.Printf("  copies:          %d (%d bytes total)\n", live.Copies, live.CopiedBytes)
 	}
+	if *traceSample > 0 {
+		fmt.Printf("  traced packets:  %d hop events retained\n", len(live.Traces))
+	}
+	if *telemetryAddr != "" {
+		fmt.Printf("telemetry:         serving until interrupted (Ctrl-C to exit)\n")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	}
+	return live.PoolLeak
 }
 
 func report(label string, r experiments.LiveResult) {
@@ -158,8 +212,12 @@ func loadPolicy(path, chain string) (policy.Policy, []string, error) {
 }
 
 func parseSizes(s string) (trafficgen.SizeDist, error) {
+	return parseSizesSeeded(s, time.Now().UnixNano())
+}
+
+func parseSizesSeeded(s string, seed int64) (trafficgen.SizeDist, error) {
 	if s == "dc" {
-		return trafficgen.NewDataCenter(time.Now().UnixNano()), nil
+		return trafficgen.NewDataCenter(seed), nil
 	}
 	n, err := strconv.Atoi(s)
 	if err != nil || n < 64 || n > 1500 {

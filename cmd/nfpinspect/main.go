@@ -1,11 +1,14 @@
-// nfpinspect is the NF action inspector of §5.4: it statically analyzes
-// an NF's Go source, derives its action profile (the NF's Table 2 row),
-// and optionally diffs it against the declared catalog profile.
+// nfpinspect is the NFP introspection tool: the NF action inspector of
+// §5.4 (statically analyze an NF's Go source, derive its action
+// profile, optionally diff it against the declared catalog profile) and
+// a dataplane metrics viewer.
 //
 // Usage:
 //
 //	nfpinspect -name monitor internal/nf/monitor.go
 //	nfpinspect -name lb -diff internal/nf/lb.go
+//	nfpinspect metrics -addr localhost:9090
+//	nfpinspect metrics -chain ids,monitor,lb -packets 2000 -trace-sample 64
 package main
 
 import (
@@ -18,6 +21,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "metrics" {
+		metricsCmd(os.Args[2:])
+		return
+	}
 	name := flag.String("name", "", "NF type name for the generated profile")
 	diff := flag.Bool("diff", false, "compare against the declared catalog profile")
 	flag.Parse()

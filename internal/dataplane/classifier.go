@@ -2,11 +2,13 @@ package dataplane
 
 import (
 	"net/netip"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"nfp/internal/flow"
 	"nfp/internal/packet"
+	"nfp/internal/telemetry"
 )
 
 // Match is one Classification Table match field set (§5.1). Zero-value
@@ -55,11 +57,61 @@ type classRule struct {
 // table to redirect some flows to the new instance"): the table is
 // copy-on-write, so the hot lookup path never takes a lock.
 type Classifier struct {
-	mu         sync.Mutex // serializes writers
-	table      atomic.Pointer[classTable]
-	nextPID    atomic.Uint64
-	classified atomic.Uint64
-	unmatched  atomic.Uint64
+	mu      sync.Mutex // serializes writers
+	table   atomic.Pointer[classTable]
+	nextPID atomic.Uint64
+
+	// Telemetry (nil until bindTelemetry; all methods nil-safe):
+	// ruleMatches counts packets matched by an installed rule,
+	// defaultHits packets that fell through to the default route, and
+	// unmatched rejected packets. dispatch tracks per-MID delivery.
+	reg         *telemetry.Registry
+	ruleMatches *telemetry.Counter
+	defaultHits *telemetry.Counter
+	unmatchedC  *telemetry.Counter
+	dispatch    atomic.Pointer[map[uint32]*telemetry.Counter]
+}
+
+// bindTelemetry points the classifier's counters at a registry. Called
+// once by the owning Server before traffic flows.
+func (c *Classifier) bindTelemetry(reg *telemetry.Registry) {
+	c.reg = reg
+	c.ruleMatches = reg.Counter("nfp_classifier_rule_matches_total")
+	c.defaultHits = reg.Counter("nfp_classifier_default_hits_total")
+	c.unmatchedC = reg.Counter("nfp_classifier_unmatched_total")
+}
+
+// midCounter resolves the per-MID dispatch counter, growing the
+// copy-on-write map on first sight of a MID so the hot path is one
+// pointer load and map read.
+func (c *Classifier) midCounter(mid uint32) *telemetry.Counter {
+	if m := c.dispatch.Load(); m != nil {
+		if ctr, ok := (*m)[mid]; ok {
+			return ctr
+		}
+	}
+	if c.reg == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.dispatch.Load()
+	if old != nil {
+		if ctr, ok := (*old)[mid]; ok {
+			return ctr
+		}
+	}
+	next := make(map[uint32]*telemetry.Counter)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	ctr := c.reg.Counter("nfp_classifier_dispatch_total",
+		telemetry.L("mid", strconv.FormatUint(uint64(mid), 10)))
+	next[mid] = ctr
+	c.dispatch.Store(&next)
+	return ctr
 }
 
 type classTable struct {
@@ -128,35 +180,40 @@ func (c *Classifier) SetDefault(mid uint32) {
 // Classify resolves the MID for a packet and stamps its metadata.
 // It returns false when no rule matches and no default is set.
 func (c *Classifier) Classify(p *packet.Packet) (uint32, bool) {
-	mid, ok := c.lookup(p)
+	mid, ok, viaDefault := c.lookup(p)
 	if !ok {
-		c.unmatched.Add(1)
+		c.unmatchedC.Add(1)
 		return 0, false
 	}
 	pid := c.nextPID.Add(1) & packet.MaxPID
 	p.Meta = packet.Meta{MID: mid, PID: pid, Version: 1}
-	c.classified.Add(1)
+	if viaDefault {
+		c.defaultHits.Add(1)
+	} else {
+		c.ruleMatches.Add(1)
+	}
+	c.midCounter(mid).Add(1)
 	return mid, true
 }
 
-func (c *Classifier) lookup(p *packet.Packet) (uint32, bool) {
+func (c *Classifier) lookup(p *packet.Packet) (mid uint32, ok, viaDefault bool) {
 	t := c.loadTable()
 	if len(t.rules) > 0 {
 		if k, err := flow.FromPacket(p); err == nil {
 			for i := range t.rules {
 				if t.rules[i].match.Covers(k) {
-					return t.rules[i].mid, true
+					return t.rules[i].mid, true, false
 				}
 			}
 		}
 	}
 	if t.hasDefault {
-		return t.defaultMID, true
+		return t.defaultMID, true, true
 	}
-	return 0, false
+	return 0, false, false
 }
 
 // Stats returns (classified, unmatched) counts.
 func (c *Classifier) Stats() (classified, unmatched uint64) {
-	return c.classified.Load(), c.unmatched.Load()
+	return c.ruleMatches.Value() + c.defaultHits.Value(), c.unmatchedC.Value()
 }

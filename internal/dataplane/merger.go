@@ -2,10 +2,12 @@ package dataplane
 
 import (
 	"fmt"
-	"sync/atomic"
+	"strconv"
+	"time"
 
 	"nfp/internal/graph"
 	"nfp/internal/packet"
+	"nfp/internal/telemetry"
 )
 
 // mergeItem is one branch-tail report delivered to a merger instance:
@@ -31,6 +33,9 @@ type atEntry struct {
 	count    int
 	versions [packet.MaxVersion + 1]*packet.Packet
 	dropped  bool
+	// firstNS is when the first tail arrived; finalize−firstNS is the
+	// merge latency (how long copies waited in the Accumulating Table).
+	firstNS int64
 }
 
 // merger is one merger instance. The paper implements mergers as NFs so
@@ -39,21 +44,34 @@ type atEntry struct {
 // Table, fed by the merger agent's PID hash.
 type merger struct {
 	id     int
+	name   string // "merger-<id>" for trace events
 	in     chan mergeItem
 	at     map[atKey]*atEntry
 	server *Server
 
-	processed atomic.Uint64
-	merged    atomic.Uint64
-	drops     atomic.Uint64
+	// Registry-backed per-instance metrics (labelled instance=<id>).
+	processed *telemetry.Counter
+	merged    *telemetry.Counter
+	drops     *telemetry.Counter
+	atSize    *telemetry.Gauge
+	atHW      *telemetry.Gauge
+	mergeLat  *telemetry.Histogram
 }
 
 func newMerger(id, queue int, s *Server) *merger {
+	inst := telemetry.L("instance", strconv.Itoa(id))
 	return &merger{
-		id:     id,
-		in:     make(chan mergeItem, queue),
-		at:     make(map[atKey]*atEntry),
-		server: s,
+		id:        id,
+		name:      "merger-" + strconv.Itoa(id),
+		in:        make(chan mergeItem, queue),
+		at:        make(map[atKey]*atEntry),
+		server:    s,
+		processed: s.tel.Counter("nfp_merger_processed_total", inst),
+		merged:    s.tel.Counter("nfp_merger_merged_total", inst),
+		drops:     s.tel.Counter("nfp_merger_drops_total", inst),
+		atSize:    s.tel.Gauge("nfp_merger_at_size", inst),
+		atHW:      s.tel.Gauge("nfp_merger_at_high_water", inst),
+		mergeLat:  s.tel.Histogram("nfp_merger_merge_latency_ns", inst),
 	}
 }
 
@@ -70,8 +88,10 @@ func (m *merger) handle(item mergeItem) {
 	key := atKey{mid: item.mid, join: item.join, pid: item.pkt.Meta.PID}
 	e := m.at[key]
 	if e == nil {
-		e = &atEntry{}
+		e = &atEntry{firstNS: time.Now().UnixNano()}
 		m.at[key] = e
+		m.atSize.Set(int64(len(m.at)))
+		m.atHW.SetMax(int64(len(m.at)))
 	}
 	e.count++
 	e.versions[item.pkt.Meta.Version] = item.pkt
@@ -84,6 +104,8 @@ func (m *merger) handle(item mergeItem) {
 		return
 	}
 	delete(m.at, key)
+	m.atSize.Set(int64(len(m.at)))
+	m.mergeLat.Record(time.Now().UnixNano() - e.firstNS)
 	m.finalize(item.mid, spec, e)
 }
 
@@ -93,6 +115,15 @@ func (m *merger) handle(item mergeItem) {
 func (m *merger) finalize(mid uint32, spec JoinSpec, e *atEntry) {
 	pr := m.server.planRT(mid)
 	base := e.versions[spec.BaseVersion]
+
+	if tr := m.server.tracer; tr != nil {
+		for _, pkt := range e.versions {
+			if pkt != nil && tr.Sampled(pkt.Meta.PID) {
+				tr.Record(pkt.Meta.PID, mid, telemetry.StageMerge, m.name, time.Now().UnixNano())
+				break
+			}
+		}
+	}
 
 	if e.dropped {
 		m.drops.Add(1)

@@ -2,11 +2,12 @@ package dataplane
 
 import (
 	"runtime"
-	"sync/atomic"
+	"time"
 
 	"nfp/internal/nf"
 	"nfp/internal/packet"
 	"nfp/internal/ring"
+	"nfp/internal/telemetry"
 )
 
 // nodeRT is one NF runtime (§5.2): the per-NF shim that collects
@@ -21,8 +22,12 @@ type nodeRT struct {
 	server *Server
 	pr     *planRuntime
 
-	processed atomic.Uint64
-	dropped   atomic.Uint64
+	// Registry-backed per-NF metrics (labelled nf=<name>, mid=<mid>).
+	pktsIn  *telemetry.Counter
+	pktsOut *telemetry.Counter
+	drops   *telemetry.Counter
+	svcTime *telemetry.Histogram
+	ringHW  *telemetry.Gauge
 }
 
 // run is the NF runtime goroutine body. It polls the receive ring —
@@ -43,15 +48,22 @@ func (n *nodeRT) run() {
 }
 
 func (n *nodeRT) process(pkt *packet.Packet) {
+	n.pktsIn.Add(1)
+	start := time.Now()
 	verdict := n.inst.Process(pkt)
-	n.processed.Add(1)
+	n.svcTime.Record(time.Since(start).Nanoseconds())
+	if n.server.tracer.Sampled(pkt.Meta.PID) {
+		n.server.tracer.Record(pkt.Meta.PID, pkt.Meta.MID, telemetry.StageNF,
+			n.plan.NF.String(), time.Now().UnixNano())
+	}
 	if verdict == nf.Drop {
-		n.dropped.Add(1)
+		n.drops.Add(1)
 		// §5.2 "ignore": skip the forwarding actions and convey the
 		// dropping intention (the packet reference rides along so the
 		// merger can release the buffer once all tails report).
 		n.server.deliverDrop(n.pr, n.plan.DropTo, pkt)
 		return
 	}
+	n.pktsOut.Add(1)
 	n.server.exec(n.pr, n.plan.Next, pkt)
 }

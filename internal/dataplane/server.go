@@ -3,8 +3,10 @@ package dataplane
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nfp/internal/flow"
 	"nfp/internal/graph"
@@ -12,6 +14,7 @@ import (
 	"nfp/internal/nf"
 	"nfp/internal/packet"
 	"nfp/internal/ring"
+	"nfp/internal/telemetry"
 )
 
 // Config sizes an NFP server.
@@ -34,6 +37,16 @@ type Config struct {
 	OutputQueue int
 	// Registry provides NF factories (default nf.NewRegistry()).
 	Registry *nf.Registry
+	// Telemetry receives every dataplane metric. Each server should get
+	// its own registry (series names collide otherwise); nil creates a
+	// private one, reachable via Server.Telemetry().
+	Telemetry *telemetry.Registry
+	// TraceSampleRate enables per-packet path tracing for roughly one
+	// in TraceSampleRate packets, selected by PID hash (0 disables; 1
+	// traces everything; rounded down to a power of two).
+	TraceSampleRate int
+	// TraceCapacity bounds the trace event ring (default 4096).
+	TraceCapacity int
 }
 
 func (c *Config) setDefaults() {
@@ -58,6 +71,9 @@ func (c *Config) setDefaults() {
 	if c.Registry == nil {
 		c.Registry = nf.NewRegistry()
 	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.NewRegistry()
+	}
 }
 
 // planRuntime is one installed service graph with its NF runtimes.
@@ -77,15 +93,19 @@ type Server struct {
 	mergers    []*merger
 	out        chan *packet.Packet
 
-	started   atomic.Bool
-	stopped   atomic.Bool
-	wg        sync.WaitGroup
-	injected  atomic.Uint64
-	outCount  atomic.Uint64
-	drops     atomic.Uint64
-	copies    atomic.Uint64
-	copiedB   atomic.Uint64 // bytes duplicated (resource overhead meter)
-	mergeErrs atomic.Uint64
+	started atomic.Bool
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	// End-to-end counters, registry-backed (Config.Telemetry).
+	tel      *telemetry.Registry
+	tracer   *telemetry.Tracer
+	injected *telemetry.Counter
+	outCount *telemetry.Counter
+	drops    *telemetry.Counter
+	copies   *telemetry.Counter
+	copiedB  *telemetry.Counter // bytes duplicated (resource overhead meter)
+	mergeErrs *telemetry.Counter
 }
 
 // New creates a server from cfg.
@@ -96,6 +116,16 @@ func New(cfg Config) *Server {
 		pool: mempool.New(cfg.PoolSize, cfg.BufSize),
 		out:  make(chan *packet.Packet, cfg.OutputQueue),
 	}
+	s.tel = cfg.Telemetry
+	s.tracer = telemetry.NewTracer(cfg.TraceSampleRate, cfg.TraceCapacity)
+	s.injected = s.tel.Counter("nfp_injected_total")
+	s.outCount = s.tel.Counter("nfp_outputs_total")
+	s.drops = s.tel.Counter("nfp_drops_total")
+	s.copies = s.tel.Counter("nfp_copies_total")
+	s.copiedB = s.tel.Counter("nfp_copied_bytes_total")
+	s.mergeErrs = s.tel.Counter("nfp_merge_errors_total")
+	s.classifier.bindTelemetry(s.tel)
+	s.pool.MustRegister(s.tel)
 	s.plans.Store(&map[uint32]*planRuntime{})
 	// Keep a slice of the pool for the copies parallel stages create;
 	// see mempool.SetReserve for the deadlock this prevents.
@@ -144,12 +174,21 @@ func (s *Server) AddGraphInstances(mid uint32, g graph.Node, instances map[graph
 				return fmt.Errorf("dataplane: node %v: %w", pn.NF, err)
 			}
 		}
+		labels := []telemetry.Label{
+			telemetry.L("nf", pn.NF.String()),
+			telemetry.L("mid", strconv.FormatUint(uint64(mid), 10)),
+		}
 		pr.nodes = append(pr.nodes, &nodeRT{
-			plan:   pn,
-			inst:   inst,
-			rx:     ring.NewMPSC(s.cfg.RingSize),
-			server: s,
-			pr:     pr,
+			plan:    pn,
+			inst:    inst,
+			rx:      ring.NewMPSC(s.cfg.RingSize),
+			server:  s,
+			pr:      pr,
+			pktsIn:  s.tel.Counter("nfp_nf_packets_in_total", labels...),
+			pktsOut: s.tel.Counter("nfp_nf_packets_out_total", labels...),
+			drops:   s.tel.Counter("nfp_nf_drops_total", labels...),
+			svcTime: s.tel.Histogram("nfp_nf_service_time_ns", labels...),
+			ringHW:  s.tel.Gauge("nfp_nf_ring_high_water", labels...),
 		})
 	}
 
@@ -230,7 +269,7 @@ func (s *Server) Stop() {
 	// Wait until every injected packet surfaced as an output or a
 	// drop. The output channel consumer must keep draining until Stop
 	// returns, or this backpressures forever.
-	for s.injected.Load() > s.outCount.Load()+s.drops.Load() {
+	for s.injected.Value() > s.outCount.Value()+s.drops.Value() {
 		runtime.Gosched()
 	}
 	s.stopped.Store(true)
@@ -278,6 +317,10 @@ func (s *Server) injectInto(pr *planRuntime, pkt *packet.Packet) bool {
 	// race between runtimes, even with identical values).
 	_ = pkt.Parse()
 	s.injected.Add(1)
+	if s.tracer.Sampled(pkt.Meta.PID) {
+		s.tracer.Record(pkt.Meta.PID, pkt.Meta.MID, telemetry.StageClassify,
+			"classifier", time.Now().UnixNano())
+	}
 	s.exec(pr, pr.plan.Entry, pkt)
 	return true
 }
@@ -327,10 +370,11 @@ func (s *Server) allocCopy() *packet.Packet {
 func (s *Server) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped bool) {
 	switch t.Kind {
 	case ToNode:
-		rx := pr.nodes[t.Node].rx
-		for !rx.Enqueue(pkt) {
+		n := pr.nodes[t.Node]
+		for !n.rx.Enqueue(pkt) {
 			runtime.Gosched() // ring full: backpressure
 		}
+		n.ringHW.SetMax(int64(n.rx.Len()))
 	case ToJoin:
 		// Merger agent (§5.3): hash the immutable PID to pick the
 		// merger instance, so all copies of one packet meet at the
@@ -338,6 +382,13 @@ func (s *Server) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped 
 		m := s.mergers[flow.HashPID(pkt.Meta.PID)%uint64(len(s.mergers))]
 		m.in <- mergeItem{pkt: pkt, mid: pr.plan.MID, join: t.Join, dropped: dropped}
 	case ToOutput:
+		if s.tracer.Sampled(pkt.Meta.PID) {
+			st := telemetry.StageOutput
+			if dropped {
+				st = telemetry.StageDrop
+			}
+			s.tracer.Record(pkt.Meta.PID, pkt.Meta.MID, st, "", time.Now().UnixNano())
+		}
 		if dropped {
 			s.drops.Add(1)
 			pkt.Free()
@@ -380,19 +431,27 @@ type Stats struct {
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Injected:    s.injected.Load(),
-		Outputs:     s.outCount.Load(),
-		Drops:       s.drops.Load(),
-		Copies:      s.copies.Load(),
-		CopiedBytes: s.copiedB.Load(),
-		MergeErrors: s.mergeErrs.Load(),
+		Injected:    s.injected.Value(),
+		Outputs:     s.outCount.Value(),
+		Drops:       s.drops.Value(),
+		Copies:      s.copies.Value(),
+		CopiedBytes: s.copiedB.Value(),
+		MergeErrors: s.mergeErrs.Value(),
 		Pool:        s.pool.Stats(),
 	}
 	for _, m := range s.mergers {
-		st.MergerLoad = append(st.MergerLoad, m.processed.Load())
+		st.MergerLoad = append(st.MergerLoad, m.processed.Value())
 	}
 	return st
 }
+
+// Telemetry returns the server's metrics registry (for serving
+// /metrics or snapshotting after a run).
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
+
+// Tracer returns the per-packet path tracer, nil unless
+// Config.TraceSampleRate enabled it.
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
 // NodeRuntime returns the NF instance executing a graph node, for state
 // inspection in tests and examples.

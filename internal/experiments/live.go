@@ -17,6 +17,7 @@ import (
 	"nfp/internal/packet"
 	"nfp/internal/policy"
 	"nfp/internal/stats"
+	"nfp/internal/telemetry"
 	"nfp/internal/trafficgen"
 )
 
@@ -29,7 +30,36 @@ type LiveResult struct {
 	Mpps           float64
 	MergerLoad     []uint64
 	OutputsByPID   map[uint64][]byte // PID → final wire bytes (small runs only)
-	PoolLeak       int
+	// PoolLeak is the mempool's in-use gauge after the drained stop —
+	// any non-zero value is a buffer leak.
+	PoolLeak int
+	// Telemetry is the end-of-run metric snapshot (nil for baselines,
+	// which predate the registry).
+	Telemetry *telemetry.Snapshot
+	// Traces holds the sampled per-packet hop records when
+	// LiveOptions.TraceSampleRate was set.
+	Traces []telemetry.TraceEvent
+}
+
+// LiveOptions tunes RunLiveGraphOpts beyond the required arguments.
+type LiveOptions struct {
+	// KeepOutputs retains every output packet's bytes by PID (small
+	// runs only).
+	KeepOutputs bool
+	// Tap, if non-nil, sees every completed packet before it is freed —
+	// the hook behind nfpd's pcap capture.
+	Tap func(*packet.Packet)
+	// Telemetry names the registry the server publishes metrics to
+	// (nil creates a private one, returned via LiveResult.Telemetry).
+	// Reusing one registry across runs panics on duplicate series —
+	// give each run its own.
+	Telemetry *telemetry.Registry
+	// TraceSampleRate enables packet-path tracing (see
+	// dataplane.Config.TraceSampleRate).
+	TraceSampleRate int
+	// OnServer, if non-nil, observes the server after Start and before
+	// traffic — nfpd uses it to expose the live registry over HTTP.
+	OnServer func(*dataplane.Server)
 }
 
 // LiveRegistry, when non-nil, supplies NF factories to the live runs
@@ -53,16 +83,31 @@ func RunLiveGraph(g graph.Node, n int, gen *trafficgen.Generator, keepOutputs bo
 // sees every completed packet before it is freed — the hook behind
 // nfpd's pcap capture.
 func RunLiveGraphTap(g graph.Node, n int, gen *trafficgen.Generator, keepOutputs bool, tap func(*packet.Packet)) (LiveResult, error) {
-	srv := dataplane.New(dataplane.Config{PoolSize: 1024, Mergers: 2, Registry: LiveRegistry})
+	return RunLiveGraphOpts(g, n, gen, LiveOptions{KeepOutputs: keepOutputs, Tap: tap})
+}
+
+// RunLiveGraphOpts executes a service graph on the real dataplane for n
+// packets from gen with full observability control.
+func RunLiveGraphOpts(g graph.Node, n int, gen *trafficgen.Generator, opts LiveOptions) (LiveResult, error) {
+	srv := dataplane.New(dataplane.Config{
+		PoolSize:        1024,
+		Mergers:         2,
+		Registry:        LiveRegistry,
+		Telemetry:       opts.Telemetry,
+		TraceSampleRate: opts.TraceSampleRate,
+	})
 	if err := srv.AddGraph(1, g); err != nil {
 		return LiveResult{}, err
 	}
 	if err := srv.Start(); err != nil {
 		return LiveResult{}, err
 	}
+	if opts.OnServer != nil {
+		opts.OnServer(srv)
+	}
 	lat := stats.NewLatency(n)
 	var res LiveResult
-	if keepOutputs {
+	if opts.KeepOutputs {
 		res.OutputsByPID = map[uint64][]byte{}
 	}
 	done := make(chan struct{})
@@ -73,8 +118,8 @@ func RunLiveGraphTap(g graph.Node, n int, gen *trafficgen.Generator, keepOutputs
 			if res.OutputsByPID != nil {
 				res.OutputsByPID[p.Meta.PID] = append([]byte(nil), p.Bytes()...)
 			}
-			if tap != nil {
-				tap(p)
+			if opts.Tap != nil {
+				opts.Tap(p)
 			}
 			p.Free()
 		}
@@ -105,7 +150,10 @@ func RunLiveGraphTap(g graph.Node, n int, gen *trafficgen.Generator, keepOutputs
 	res.MergerLoad = st.MergerLoad
 	res.MeanLatencyUS = lat.MeanMicros()
 	res.Mpps = float64(n) / th.Elapsed().Seconds() / 1e6
-	res.PoolLeak = 1024 - srv.Pool().Available()
+	res.PoolLeak = srv.Pool().InUse()
+	snap := srv.Telemetry().Snapshot()
+	res.Telemetry = &snap
+	res.Traces = srv.Tracer().Events()
 	return res, nil
 }
 
@@ -148,7 +196,7 @@ func RunLiveONVM(chain []string, n int, gen *trafficgen.Generator) (LiveResult, 
 		Drops:         st.Drops,
 		MeanLatencyUS: lat.MeanMicros(),
 		Mpps:          float64(n) / th.Elapsed().Seconds() / 1e6,
-		PoolLeak:      1024 - srv.Pool().Available(),
+		PoolLeak:      srv.Pool().InUse(),
 	}, nil
 }
 
@@ -191,7 +239,7 @@ func RunLiveRTC(chain []string, replicas, n int, gen *trafficgen.Generator) (Liv
 		Drops:         st.Drops,
 		MeanLatencyUS: lat.MeanMicros(),
 		Mpps:          float64(n) / th.Elapsed().Seconds() / 1e6,
-		PoolLeak:      1024 - srv.Pool().Available(),
+		PoolLeak:      srv.Pool().InUse(),
 	}, nil
 }
 

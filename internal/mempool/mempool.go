@@ -9,9 +9,9 @@ package mempool
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"nfp/internal/packet"
+	"nfp/internal/telemetry"
 )
 
 // Pool is a fixed-capacity pool of packet buffers. It is safe for
@@ -24,9 +24,14 @@ type Pool struct {
 	mu   sync.Mutex
 	free []*packet.Packet
 
-	allocs   atomic.Uint64
-	frees    atomic.Uint64
-	failures atomic.Uint64
+	// The pool owns its metrics (so standalone pools still count) and
+	// attaches them to a server's registry via MustRegister.
+	allocs      *telemetry.Counter
+	frees       *telemetry.Counter
+	failures    *telemetry.Counter
+	reserveDips *telemetry.Counter
+	inUse       *telemetry.Gauge
+	inUseHW     *telemetry.Gauge
 }
 
 // New creates a pool of n buffers of bufSize bytes each. bufSize should
@@ -35,7 +40,12 @@ func New(n, bufSize int) *Pool {
 	if n <= 0 || bufSize <= 0 {
 		panic(fmt.Sprintf("mempool: invalid pool geometry n=%d bufSize=%d", n, bufSize))
 	}
-	p := &Pool{bufSize: bufSize, cap: n, free: make([]*packet.Packet, 0, n)}
+	p := &Pool{
+		bufSize: bufSize, cap: n, free: make([]*packet.Packet, 0, n),
+		allocs: telemetry.NewCounter(), frees: telemetry.NewCounter(),
+		failures: telemetry.NewCounter(), reserveDips: telemetry.NewCounter(),
+		inUse: telemetry.NewGauge(), inUseHW: telemetry.NewGauge(),
+	}
 	backing := make([]byte, n*bufSize) // one slab, like a hugepage region
 	for i := 0; i < n; i++ {
 		pkt := &packet.Packet{}
@@ -83,7 +93,16 @@ func (p *Pool) get(honorReserve bool) *packet.Packet {
 	}
 	pkt := p.free[n-1]
 	p.free = p.free[:n-1]
+	dip := !honorReserve && n-1 < p.reserve
+	used := int64(p.cap - (n - 1))
 	p.mu.Unlock()
+	if dip {
+		// The copy path is eating into the buffers held back for it —
+		// the early-warning sign of the SetReserve deadlock scenario.
+		p.reserveDips.Add(1)
+	}
+	p.inUse.Set(used)
+	p.inUseHW.SetMax(used)
 	p.allocs.Add(1)
 	pkt.SetLen(0)
 	pkt.Meta = packet.Meta{}
@@ -102,7 +121,9 @@ func (p *Pool) put(pkt *packet.Packet) {
 		panic("mempool: double free")
 	}
 	p.free = append(p.free, pkt)
+	used := int64(p.cap - len(p.free))
 	p.mu.Unlock()
+	p.inUse.Set(used)
 	p.frees.Add(1)
 }
 
@@ -119,16 +140,43 @@ func (p *Pool) Available() int {
 	return len(p.free)
 }
 
+// InUse returns the number of outstanding buffers. A non-zero value
+// after a drained Stop is a leak.
+func (p *Pool) InUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cap - len(p.free)
+}
+
+// MustRegister attaches the pool's metrics to a telemetry registry.
+// Call at most once per registry (duplicate series panic). Safe with a
+// nil registry.
+func (p *Pool) MustRegister(reg *telemetry.Registry) {
+	reg.MustRegisterCounter("nfp_mempool_allocs_total", p.allocs)
+	reg.MustRegisterCounter("nfp_mempool_frees_total", p.frees)
+	reg.MustRegisterCounter("nfp_mempool_alloc_failures_total", p.failures)
+	reg.MustRegisterCounter("nfp_mempool_reserve_dips_total", p.reserveDips)
+	reg.MustRegisterGauge("nfp_mempool_in_use", p.inUse)
+	reg.MustRegisterGauge("nfp_mempool_in_use_high_water", p.inUseHW)
+	reg.Gauge("nfp_mempool_capacity").Set(int64(p.cap))
+}
+
 // Stats reports cumulative pool activity.
 type Stats struct {
 	Allocs, Frees, Failures uint64
+	// ReserveDips counts reserved-path allocations that dug below the
+	// reserve line; InUse is the current leak gauge.
+	ReserveDips uint64
+	InUse       int
 }
 
 // Stats returns a snapshot of the pool counters.
 func (p *Pool) Stats() Stats {
 	return Stats{
-		Allocs:   p.allocs.Load(),
-		Frees:    p.frees.Load(),
-		Failures: p.failures.Load(),
+		Allocs:      p.allocs.Value(),
+		Frees:       p.frees.Value(),
+		Failures:    p.failures.Value(),
+		ReserveDips: p.reserveDips.Value(),
+		InUse:       p.InUse(),
 	}
 }

@@ -7,11 +7,18 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
-// Latency accumulates latency samples (nanoseconds).
+// Latency accumulates latency samples (nanoseconds). It is safe for
+// concurrent use: recorders and readers may interleave freely (the
+// dataplane's output-drain goroutine records while the main goroutine
+// reads). For unsampled hot-path recording with bounded memory, prefer
+// telemetry.Histogram — this recorder keeps every sample for exact
+// percentiles.
 type Latency struct {
+	mu      sync.Mutex
 	samples []int64
 	sorted  bool
 }
@@ -23,15 +30,23 @@ func NewLatency(n int) *Latency {
 
 // Record adds one sample.
 func (l *Latency) Record(ns int64) {
+	l.mu.Lock()
 	l.samples = append(l.samples, ns)
 	l.sorted = false
+	l.mu.Unlock()
 }
 
 // Count returns the number of samples.
-func (l *Latency) Count() int { return len(l.samples) }
+func (l *Latency) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
 
 // Mean returns the average sample in nanoseconds.
 func (l *Latency) Mean() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if len(l.samples) == 0 {
 		return 0
 	}
@@ -43,7 +58,12 @@ func (l *Latency) Mean() float64 {
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) in nanoseconds.
+// The samples are sorted in place under the lock (recording order is
+// not part of the contract), and the sort is reused until the next
+// Record.
 func (l *Latency) Percentile(p float64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if len(l.samples) == 0 {
 		return 0
 	}

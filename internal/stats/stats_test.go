@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 )
@@ -113,5 +114,40 @@ func TestLineRate(t *testing.T) {
 	}
 	if LineRatePPS(10) != LineRatePPS(64) {
 		t.Error("sub-minimum frames not clamped")
+	}
+}
+
+// TestLatencyConcurrent interleaves recorders with percentile readers —
+// the dataplane's drain goroutine records while the main goroutine
+// reads. Run under -race this is the regression test for the unguarded
+// samples slice.
+func TestLatencyConcurrent(t *testing.T) {
+	l := NewLatency(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(1); i <= 5000; i++ {
+				l.Record(i)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = l.Percentile(99)
+			_ = l.Mean()
+			_ = l.Count()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if l.Count() != 4*5000 {
+		t.Errorf("count = %d, want %d", l.Count(), 4*5000)
+	}
+	if l.Percentile(100) != 5000 {
+		t.Errorf("p100 = %d, want 5000", l.Percentile(100))
 	}
 }

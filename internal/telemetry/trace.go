@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Stage identifies one hop of a packet's path through the dataplane.
+type Stage uint8
+
+const (
+	// StageClassify is the classifier assigning MID/PID.
+	StageClassify Stage = iota
+	// StageNF is one NF runtime completing Process.
+	StageNF
+	// StageMerge is a merger instance finalizing a join.
+	StageMerge
+	// StageOutput is the packet leaving the service graph.
+	StageOutput
+	// StageDrop is the packet's drop being accounted at the output.
+	StageDrop
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageClassify:
+		return "classify"
+	case StageNF:
+		return "nf"
+	case StageMerge:
+		return "merge"
+	case StageOutput:
+		return "output"
+	case StageDrop:
+		return "drop"
+	}
+	return "stage(?)"
+}
+
+// MarshalText renders the stage name into JSON trace dumps.
+func (s Stage) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a stage name back from a JSON trace dump.
+func (s *Stage) UnmarshalText(b []byte) error {
+	for cand := StageClassify; cand <= StageDrop; cand++ {
+		if cand.String() == string(b) {
+			*s = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown stage %q", b)
+}
+
+// TraceEvent is one hop record of a sampled packet.
+type TraceEvent struct {
+	// Seq is a global monotonic sequence number; sorting by Seq
+	// reconstructs hop order across goroutines.
+	Seq uint64 `json:"seq"`
+	PID uint64 `json:"pid"`
+	MID uint32 `json:"mid"`
+	// Stage says which pipeline layer recorded the hop.
+	Stage Stage `json:"stage"`
+	// Name identifies the component (NF name, merger instance, …).
+	Name string `json:"name,omitempty"`
+	// TS is the hop's wall-clock nanosecond timestamp.
+	TS int64 `json:"ts"`
+}
+
+// Tracer records hop-by-hop packet paths for a sampled subset of PIDs
+// into a bounded ring, overwriting the oldest events on wrap. Sampling
+// is a two-instruction hash-and-mask on the immutable PID, so every
+// hop of one packet is either fully traced or fully skipped; the
+// Sampled check is the only cost unsampled packets pay.
+type Tracer struct {
+	mask uint64 // sample when mix(pid)&mask == 0
+	seq  atomic.Uint64
+
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next int  // ring write cursor
+	full bool // buf has wrapped at least once
+}
+
+// NewTracer creates a tracer sampling roughly one in sampleRate packets
+// (rounded down to a power of two; 1 traces everything, <=0 returns a
+// nil tracer, which disables tracing at zero cost) with a ring of
+// capacity events (default 4096).
+func NewTracer(sampleRate, capacity int) *Tracer {
+	if sampleRate <= 0 {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	mask := uint64(1)
+	for int(mask<<1) <= sampleRate {
+		mask <<= 1
+	}
+	return &Tracer{mask: mask - 1, buf: make([]TraceEvent, 0, capacity)}
+}
+
+// mixPID decorrelates sequential PIDs (classifiers hand them out
+// incrementally) so sampling picks a spread subset, not a prefix.
+func mixPID(pid uint64) uint64 {
+	pid *= 0x9e3779b97f4a7c15
+	return pid ^ pid>>32
+}
+
+// Sampled reports whether pid's packet is traced. Safe on a nil
+// receiver (never sampled).
+func (t *Tracer) Sampled(pid uint64) bool {
+	return t != nil && mixPID(pid)&t.mask == 0
+}
+
+// Record appends one hop event. Callers gate on Sampled first. Safe on
+// a nil receiver.
+func (t *Tracer) Record(pid uint64, mid uint32, stage Stage, name string, ts int64) {
+	if t == nil {
+		return
+	}
+	ev := TraceEvent{Seq: t.seq.Add(1), PID: pid, MID: mid, Stage: stage, Name: name, TS: ts}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next] = ev
+		t.full = true
+	}
+	t.next = (t.next + 1) % cap(t.buf)
+	t.mu.Unlock()
+}
+
+// Events returns the retained events ordered by sequence number
+// (oldest first). Safe on a nil receiver.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	var out []TraceEvent
+	if t.full {
+		out = make([]TraceEvent, 0, cap(t.buf))
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append([]TraceEvent(nil), t.buf...)
+	}
+	t.mu.Unlock()
+	// Ring order and seq order can diverge when concurrent writers
+	// interleave between seq allocation and the locked append.
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// ByPID groups the retained events per packet, each group hop-ordered.
+// Packets whose classify hop was already overwritten are dropped, so
+// every returned trace starts at the classifier. Safe on a nil
+// receiver.
+func (t *Tracer) ByPID() map[uint64][]TraceEvent {
+	evs := t.Events()
+	if len(evs) == 0 {
+		return nil
+	}
+	m := make(map[uint64][]TraceEvent)
+	for _, ev := range evs {
+		m[ev.PID] = append(m[ev.PID], ev)
+	}
+	for pid, hops := range m {
+		if hops[0].Stage != StageClassify {
+			delete(m, pid)
+		}
+	}
+	return m
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTracerSamplingDeterministic(t *testing.T) {
+	tr := NewTracer(64, 128)
+	var sampled, total int
+	for pid := uint64(1); pid <= 100000; pid++ {
+		if tr.Sampled(pid) != tr.Sampled(pid) {
+			t.Fatalf("sampling of pid %d not deterministic", pid)
+		}
+		if tr.Sampled(pid) {
+			sampled++
+		}
+		total++
+	}
+	// rate 64 → roughly 1/64 of PIDs; allow 2x slack either way.
+	lo, hi := total/128, total/32
+	if sampled < lo || sampled > hi {
+		t.Errorf("sampled %d of %d PIDs at rate 64, want within [%d,%d]", sampled, total, lo, hi)
+	}
+
+	// Rate 1 samples everything.
+	all := NewTracer(1, 8)
+	for pid := uint64(0); pid < 100; pid++ {
+		if !all.Sampled(pid) {
+			t.Errorf("rate-1 tracer skipped pid %d", pid)
+		}
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	const capacity = 8
+	tr := NewTracer(1, capacity)
+	for i := uint64(1); i <= 20; i++ {
+		tr.Record(i, 1, StageNF, "x", int64(i))
+	}
+	evs := tr.Events()
+	if len(evs) != capacity {
+		t.Fatalf("ring retained %d events, want %d", len(evs), capacity)
+	}
+	// Most-recent capacity events survive, in seq order.
+	for i, ev := range evs {
+		wantSeq := uint64(20 - capacity + 1 + i)
+		if ev.Seq != wantSeq {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+	}
+}
+
+func TestTracerSeqOrderAcrossGoroutines(t *testing.T) {
+	tr := NewTracer(1, 4096)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 100; i++ {
+				tr.Record(base+i, 1, StageNF, "x", 0)
+			}
+		}(uint64(g) * 1000)
+	}
+	wg.Wait()
+	evs := tr.Events()
+	if len(evs) != 800 {
+		t.Fatalf("retained %d events, want 800", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events not seq-ordered at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestTracerByPIDDropsPartialTraces(t *testing.T) {
+	tr := NewTracer(1, 6)
+	// PID 1's classify hop will be overwritten by the wrap below.
+	tr.Record(1, 1, StageClassify, "classifier", 10)
+	tr.Record(1, 1, StageNF, "ids", 20)
+	// PID 2 records a complete trace that fits in the ring.
+	tr.Record(2, 1, StageClassify, "classifier", 30)
+	tr.Record(2, 1, StageNF, "ids", 40)
+	tr.Record(2, 1, StageMerge, "merger-0", 50)
+	tr.Record(2, 1, StageOutput, "", 60)
+	// Push PID 1's classify hop out of the ring.
+	tr.Record(3, 1, StageClassify, "classifier", 70)
+
+	traces := tr.ByPID()
+	if _, ok := traces[1]; ok {
+		t.Error("partial trace for pid 1 not dropped")
+	}
+	hops, ok := traces[2]
+	if !ok {
+		t.Fatal("complete trace for pid 2 missing")
+	}
+	wantStages := []Stage{StageClassify, StageNF, StageMerge, StageOutput}
+	if len(hops) != len(wantStages) {
+		t.Fatalf("pid 2 has %d hops, want %d", len(hops), len(wantStages))
+	}
+	for i, h := range hops {
+		if h.Stage != wantStages[i] {
+			t.Errorf("pid 2 hop %d = %v, want %v", i, h.Stage, wantStages[i])
+		}
+	}
+	if _, ok := traces[3]; !ok {
+		t.Error("pid 3's classify-only trace dropped (it starts at the classifier)")
+	}
+}
+
+func TestStageTextRoundTrip(t *testing.T) {
+	for s := StageClassify; s <= StageDrop; s++ {
+		b, err := s.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Stage
+		if err := back.UnmarshalText(b); err != nil {
+			t.Fatalf("unmarshal %q: %v", b, err)
+		}
+		if back != s {
+			t.Errorf("round trip %v -> %q -> %v", s, b, back)
+		}
+	}
+	var s Stage
+	if err := s.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("unknown stage name did not error")
+	}
+}
