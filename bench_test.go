@@ -65,6 +65,42 @@ func pump(b *testing.B, inject func(*packet.Packet) bool, pool interface {
 	<-done
 }
 
+// pumpBurst is pump through the batched fast path: packets are
+// allocated with AllocBatch and injected with InjectBatch in bursts.
+func pumpBurst(b *testing.B, srv *dataplane.Server, burst int, payload string) {
+	b.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p := range srv.Output() {
+			p.Free()
+		}
+	}()
+	batch := make([]*packet.Packet, burst)
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		want := burst
+		if b.N-i < want {
+			want = b.N - i
+		}
+		got := srv.Pool().AllocBatch(batch[:want])
+		for got == 0 {
+			runtime.Gosched()
+			got = srv.Pool().AllocBatch(batch[:want])
+		}
+		for j := 0; j < got; j++ {
+			packet.BuildInto(batch[j], benchSpec(i+j, payload))
+		}
+		if acc := srv.InjectBatch(batch[:got]); acc != got {
+			b.Fatal("inject failed")
+		}
+		i += got
+	}
+	srv.Stop()
+	b.StopTimer()
+	<-done
+}
+
 // benchNFPGraph measures per-packet cost of a graph on the dataplane.
 func benchNFPGraph(b *testing.B, g graph.Node, payload string) {
 	srv := dataplane.New(dataplane.Config{PoolSize: 2048, Mergers: 2})
@@ -73,6 +109,26 @@ func benchNFPGraph(b *testing.B, g graph.Node, payload string) {
 	}
 	if err := srv.Start(); err != nil {
 		b.Fatal(err)
+	}
+	pump(b, srv.Inject, srv.Pool(), srv.Output(), srv.Stop, payload)
+}
+
+// benchNFPGraphBurst measures per-packet cost at a pinned burst size,
+// with the traffic source matched to the mode: scalar inject at
+// burst=1 (the compatibility path), batched alloc+inject otherwise.
+// The Burst1/Burst32 benchmark pairs below are the tracked
+// burst-regression suite (ci.sh bench).
+func benchNFPGraphBurst(b *testing.B, g graph.Node, burst int, payload string) {
+	srv := dataplane.New(dataplane.Config{PoolSize: 2048, Mergers: 2, Burst: burst})
+	if err := srv.AddGraph(1, g); err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	if burst > 1 {
+		pumpBurst(b, srv, burst, payload)
+		return
 	}
 	pump(b, srv.Inject, srv.Pool(), srv.Output(), srv.Stop, payload)
 }
@@ -161,6 +217,39 @@ func BenchmarkFig7_NFP_SeqChain1(b *testing.B) { benchNFPGraph(b, seqGraph(nfa.N
 func BenchmarkFig7_NFP_SeqChain5(b *testing.B) { benchNFPGraph(b, seqGraph(nfa.NFL3Fwd, 5), "x") }
 func BenchmarkFig7_ONVM_Chain5(b *testing.B) {
 	benchONVM(b, []string{nfa.NFL3Fwd, nfa.NFL3Fwd, nfa.NFL3Fwd, nfa.NFL3Fwd, nfa.NFL3Fwd}, "x")
+}
+
+// --- Burst regression pairs: scalar (burst=1) vs batched (burst=32) ---
+//
+// Same graphs as Table 4 Len3, Figure 7 Chain5 and Figure 13
+// north-south, with the burst size pinned; ci.sh bench tracks these
+// into BENCH_burst.json.
+
+func BenchmarkTable4_NFP_Len3_Burst1(b *testing.B) {
+	benchNFPGraphBurst(b, parGraph(nfa.NFFirewall, 3, false), 1, "x")
+}
+func BenchmarkTable4_NFP_Len3_Burst32(b *testing.B) {
+	benchNFPGraphBurst(b, parGraph(nfa.NFFirewall, 3, false), 32, "x")
+}
+func BenchmarkFig7_NFP_SeqChain5_Burst1(b *testing.B) {
+	benchNFPGraphBurst(b, seqGraph(nfa.NFL3Fwd, 5), 1, "x")
+}
+func BenchmarkFig7_NFP_SeqChain5_Burst32(b *testing.B) {
+	benchNFPGraphBurst(b, seqGraph(nfa.NFL3Fwd, 5), 32, "x")
+}
+func BenchmarkFig13_NorthSouth_Burst1(b *testing.B) {
+	res, err := core.Compile(policy.FromChain(nfa.NFVPN, nfa.NFMonitor, nfa.NFFirewall, nfa.NFLB), nil, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNFPGraphBurst(b, res.Graph, 1, "north-south payload")
+}
+func BenchmarkFig13_NorthSouth_Burst32(b *testing.B) {
+	res, err := core.Compile(policy.FromChain(nfa.NFVPN, nfa.NFMonitor, nfa.NFFirewall, nfa.NFLB), nil, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNFPGraphBurst(b, res.Graph, 32, "north-south payload")
 }
 
 // --- Figure 8: per-NF-type sequential vs parallel ---

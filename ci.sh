@@ -1,7 +1,33 @@
 #!/usr/bin/env sh
 # CI entry point: build, vet, and race-test the whole module.
 # Mirrors .github/workflows/ci.yml so the gate is reproducible locally.
+#
+#   ./ci.sh        — the blocking gate (build + vet + race tests)
+#   ./ci.sh bench  — the non-blocking burst-regression job: runs the
+#                    Burst1/Burst32 benchmark pairs with -benchmem and
+#                    writes BENCH_burst.json for artifact upload.
 set -eux
+
+if [ "${1:-}" = "bench" ]; then
+    out="${BENCH_OUT:-BENCH_burst.json}"
+    raw="$(mktemp)"
+    trap 'rm -f "$raw"' EXIT
+    go test -run '^$' -bench 'Burst(1|32)$' -benchmem -benchtime="${BENCH_TIME:-1s}" . | tee "$raw"
+    awk '
+        BEGIN { print "[" }
+        /^Benchmark/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            ns = $3; bytes = $5; allocs = $7
+            pps = (ns > 0) ? 1e9 / ns : 0
+            if (n++) printf ",\n"
+            printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"pkts_per_sec\": %.0f, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+                name, ns, pps, bytes, allocs
+        }
+        END { printf "\n]\n" }
+    ' "$raw" > "$out"
+    echo "wrote $out"
+    exit 0
+fi
 
 go build ./...
 go vet ./...

@@ -62,6 +62,8 @@ func run() int {
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics and /debug/telemetry on this address (keeps serving after the run until interrupted)")
 	traceSample := flag.Int("trace-sample", 0, "trace ~1/N packets hop-by-hop (0 = off; rounded down to a power of two)")
 	withPprof := flag.Bool("pprof", false, "also mount /debug/pprof on the telemetry address")
+	burst := flag.Int("burst", dataplane.DefaultBurst,
+		"dataplane burst size: packets moved per ring operation (1 = scalar compatibility mode)")
 	flag.Parse()
 
 	if *seed == 0 {
@@ -123,7 +125,8 @@ func run() int {
 		fmt.Printf("warning:           %s\n", w)
 	}
 
-	opts := experiments.LiveOptions{TraceSampleRate: *traceSample}
+	opts := experiments.LiveOptions{TraceSampleRate: *traceSample, Burst: *burst}
+	fmt.Printf("burst size:        %d\n", *burst)
 	if *pcapPath != "" {
 		f, err := os.Create(*pcapPath)
 		if err != nil {

@@ -196,8 +196,67 @@ func (c *Classifier) Classify(p *packet.Packet) (uint32, bool) {
 	return mid, true
 }
 
-func (c *Classifier) lookup(p *packet.Packet) (mid uint32, ok, viaDefault bool) {
+// ClassifyBatch resolves and stamps MIDs for a whole burst — the §5.1
+// classifier operating at DPDK burst granularity. It is observationally
+// identical to calling Classify per packet (same MID/PID assignment in
+// order, same counter totals) but amortizes the telemetry: one counter
+// add per outcome class per burst, and per-MID dispatch counters
+// bumped once per run of same-MID packets.
+//
+// The slice is stably partitioned in place: classified packets (their
+// metadata stamped) keep their relative order in pkts[:n]; unmatched
+// packets are compacted to pkts[n:]. It returns n.
+func (c *Classifier) ClassifyBatch(pkts []*packet.Packet) int {
 	t := c.loadTable()
+	var ruleHits, defHits, unmatched uint64
+	var rejects []*packet.Packet
+	var runMID uint32
+	var runCnt uint64
+	n := 0
+	for _, p := range pkts {
+		mid, ok, viaDefault := c.lookupIn(t, p)
+		if !ok {
+			unmatched++
+			rejects = append(rejects, p)
+			continue
+		}
+		pid := c.nextPID.Add(1) & packet.MaxPID
+		p.Meta = packet.Meta{MID: mid, PID: pid, Version: 1}
+		if viaDefault {
+			defHits++
+		} else {
+			ruleHits++
+		}
+		if runCnt > 0 && mid != runMID {
+			c.midCounter(runMID).Add(runCnt)
+			runCnt = 0
+		}
+		runMID = mid
+		runCnt++
+		pkts[n] = p
+		n++
+	}
+	if runCnt > 0 {
+		c.midCounter(runMID).Add(runCnt)
+	}
+	if ruleHits > 0 {
+		c.ruleMatches.Add(ruleHits)
+	}
+	if defHits > 0 {
+		c.defaultHits.Add(defHits)
+	}
+	if unmatched > 0 {
+		c.unmatchedC.Add(unmatched)
+	}
+	copy(pkts[n:], rejects)
+	return n
+}
+
+func (c *Classifier) lookup(p *packet.Packet) (mid uint32, ok, viaDefault bool) {
+	return c.lookupIn(c.loadTable(), p)
+}
+
+func (c *Classifier) lookupIn(t *classTable, p *packet.Packet) (mid uint32, ok, viaDefault bool) {
 	if len(t.rules) > 0 {
 		if k, err := flow.FromPacket(p); err == nil {
 			for i := range t.rules {

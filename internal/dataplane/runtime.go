@@ -15,12 +15,23 @@ import (
 // performs the distributed forwarding actions of the NF's local
 // forwarding table — including copying for parallel branches and
 // conveying drop intentions to the merger.
+//
+// The runtime drains its ring in bursts of Config.Burst references
+// (DPDK-style burst receive): ring synchronization, counter updates and
+// the service-time histogram sample are paid once per burst, and the
+// passed packets of a burst are forwarded with one batched enqueue when
+// the next hop is a single NF.
 type nodeRT struct {
 	plan   *PlanNode
 	inst   nf.NF
 	rx     *ring.MPSC
 	server *Server
 	pr     *planRuntime
+
+	// Per-runtime burst scratch (single consumer, never shared).
+	burst    []*packet.Packet
+	verdicts []nf.Verdict
+	passBuf  []*packet.Packet
 
 	// Registry-backed per-NF metrics (labelled nf=<name>, mid=<mid>).
 	pktsIn  *telemetry.Counter
@@ -35,35 +46,57 @@ type nodeRT struct {
 // on small core counts — until the server stops and the ring drains.
 func (n *nodeRT) run() {
 	for {
-		pkt := n.rx.Dequeue()
-		if pkt == nil {
+		cnt := n.rx.DequeueBatch(n.burst)
+		if cnt == 0 {
 			if n.server.stopped.Load() {
 				return
 			}
 			runtime.Gosched()
 			continue
 		}
-		n.process(pkt)
+		n.processBurst(n.burst[:cnt])
 	}
 }
 
-func (n *nodeRT) process(pkt *packet.Packet) {
-	n.pktsIn.Add(1)
+// processBurst handles one drained burst: one counter add for arrivals,
+// one NF invocation (batched when the NF supports it), one service-time
+// sample (the burst's mean per-packet time), then per-verdict routing
+// with the passed packets forwarded as a burst.
+//
+// With burst=1 this degenerates to exactly the scalar per-packet path:
+// every counter, histogram sample and trace event lands with the same
+// cardinality and values as the pre-burst dataplane.
+func (n *nodeRT) processBurst(pkts []*packet.Packet) {
+	n.pktsIn.Add(uint64(len(pkts)))
 	start := time.Now()
-	verdict := n.inst.Process(pkt)
-	n.svcTime.Record(time.Since(start).Nanoseconds())
-	if n.server.tracer.Sampled(pkt.Meta.PID) {
-		n.server.tracer.Record(pkt.Meta.PID, pkt.Meta.MID, telemetry.StageNF,
-			n.plan.NF.String(), time.Now().UnixNano())
+	nf.ProcessAll(n.inst, pkts, n.verdicts)
+	// One amortized histogram sample: the mean per-packet service time
+	// of the burst (identical to the scalar sample when the burst is 1).
+	n.svcTime.Record(time.Since(start).Nanoseconds() / int64(len(pkts)))
+
+	tracer := n.server.tracer
+	pass := n.passBuf[:0]
+	dropped := 0
+	for i, pkt := range pkts {
+		if tracer.Sampled(pkt.Meta.PID) {
+			tracer.Record(pkt.Meta.PID, pkt.Meta.MID, telemetry.StageNF,
+				n.plan.NF.String(), time.Now().UnixNano())
+		}
+		if n.verdicts[i] == nf.Drop {
+			dropped++
+			// §5.2 "ignore": skip the forwarding actions and convey the
+			// dropping intention (the packet reference rides along so the
+			// merger can release the buffer once all tails report).
+			n.server.deliverDrop(n.pr, n.plan.DropTo, pkt)
+			continue
+		}
+		pass = append(pass, pkt)
 	}
-	if verdict == nf.Drop {
-		n.drops.Add(1)
-		// §5.2 "ignore": skip the forwarding actions and convey the
-		// dropping intention (the packet reference rides along so the
-		// merger can release the buffer once all tails report).
-		n.server.deliverDrop(n.pr, n.plan.DropTo, pkt)
-		return
+	if dropped > 0 {
+		n.drops.Add(uint64(dropped))
 	}
-	n.pktsOut.Add(1)
-	n.server.exec(n.pr, n.plan.Next, pkt)
+	if len(pass) > 0 {
+		n.pktsOut.Add(uint64(len(pass)))
+		n.server.execBurst(n.pr, n.plan.Next, pass)
+	}
 }

@@ -28,8 +28,11 @@ func TestTelemetryCountersBalance(t *testing.T) {
 
 	// runTraffic retains every output until the run ends, so the pool
 	// must hold all n packets plus in-flight copies above its reserve.
+	// Burst 1 pins the scalar path: it asserts per-packet cardinality
+	// (one histogram sample per packet), which bursts amortize away —
+	// see TestTelemetryBalanceUnderBurst for the batched counterpart.
 	const n = 200
-	s := New(Config{PoolSize: 256, TraceSampleRate: 4, TraceCapacity: 8192})
+	s := New(Config{PoolSize: 256, TraceSampleRate: 4, TraceCapacity: 8192, Burst: 1})
 	if err := s.AddGraphInstances(1, res.Graph, map[graph.NF]nf.NF{
 		nfn(nfa.NFMonitor, 0): mon,
 		nfn(nfa.NFLB, 0):      lb,

@@ -230,8 +230,19 @@ type RunResult struct {
 
 // Execute replays n deterministic packets (seeded by trafficSeed)
 // through g on the live dataplane and captures outputs, drops and
-// per-NF digests.
+// per-NF digests. It runs the dataplane in scalar (burst=1) mode; use
+// ExecuteBurst to exercise the batched fast path.
 func (t *Trial) Execute(g graph.Node, n int, trafficSeed int64) (*RunResult, error) {
+	return t.ExecuteBurst(g, n, trafficSeed, 1)
+}
+
+// ExecuteBurst is Execute with the dataplane's burst size pinned. With
+// burst > 1 the traffic is also injected through the batched
+// AllocBatch/InjectBatch path, so the whole pipeline — classify,
+// NF runtimes, mergers — runs at burst granularity. The observable
+// results (outputs by PID, drops, digests, copies) must not depend on
+// the burst size; the differential tests hold this harness to that.
+func (t *Trial) ExecuteBurst(g graph.Node, n int, trafficSeed int64, burst int) (*RunResult, error) {
 	instances := map[graph.NF]nf.NF{}
 	syns := map[string]*SynNF{}
 	for name, prof := range t.Profiles {
@@ -239,7 +250,7 @@ func (t *Trial) Execute(g graph.Node, n int, trafficSeed int64) (*RunResult, err
 		syns[name] = s
 		instances[graph.NF{Name: name}] = s
 	}
-	srv := dataplane.New(dataplane.Config{PoolSize: 512, Mergers: 2})
+	srv := dataplane.New(dataplane.Config{PoolSize: 512, Mergers: 2, Burst: burst})
 	if err := srv.AddGraphInstances(1, g, instances); err != nil {
 		return nil, err
 	}
@@ -256,14 +267,37 @@ func (t *Trial) Execute(g graph.Node, n int, trafficSeed int64) (*RunResult, err
 		}
 	}()
 	rng := rand.New(rand.NewSource(trafficSeed))
-	for i := 0; i < n; i++ {
-		pkt := srv.Pool().Get()
-		for pkt == nil {
-			pkt = srv.Pool().Get()
+	if burst <= 1 {
+		for i := 0; i < n; i++ {
+			pkt := srv.Pool().Get()
+			for pkt == nil {
+				pkt = srv.Pool().Get()
+			}
+			buildRandomPacket(pkt, rng)
+			if !srv.Inject(pkt) {
+				return nil, fmt.Errorf("classification failed")
+			}
 		}
-		buildRandomPacket(pkt, rng)
-		if !srv.Inject(pkt) {
-			return nil, fmt.Errorf("classification failed")
+	} else {
+		batch := make([]*packet.Packet, burst)
+		for i := 0; i < n; {
+			want := burst
+			if n-i < want {
+				want = n - i
+			}
+			// Partial batches are fine under transient pool pressure —
+			// a burst NIC driver hands up short bursts too.
+			got := srv.Pool().AllocBatch(batch[:want])
+			for got == 0 {
+				got = srv.Pool().AllocBatch(batch[:want])
+			}
+			for j := 0; j < got; j++ {
+				buildRandomPacket(batch[j], rng)
+			}
+			if acc := srv.InjectBatch(batch[:got]); acc != got {
+				return nil, fmt.Errorf("batch classification failed: %d of %d", acc, got)
+			}
+			i += got
 		}
 	}
 	srv.Stop()

@@ -52,6 +52,50 @@ func TestRandomizedEquivalence(t *testing.T) {
 	}
 }
 
+// TestBurstScalarEquivalence holds the batched fast path to the same
+// standard §4.1 holds parallelization: replaying identical traffic at
+// burst=32 must be observationally identical to burst=1 — the same
+// output bytes per PID, the same drop count, the same per-NF
+// observation digests, and the same number of packet copies — on both
+// the sequential and the parallelized compilation of random chains.
+func TestBurstScalarEquivalence(t *testing.T) {
+	trials := 10
+	packets := 150
+	if testing.Short() {
+		trials = 4
+		packets = 60
+	}
+	rng := rand.New(rand.NewSource(20260806))
+	for i := 0; i < trials; i++ {
+		trial, err := NewTrial(rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		seed := int64(7000 + i)
+		for _, g := range []struct {
+			name string
+			g    graph.Node
+		}{{"sequential", trial.SeqGraph}, {"parallel", trial.ParGraph}} {
+			scalar, err := trial.ExecuteBurst(g.g, packets, seed, 1)
+			if err != nil {
+				t.Fatalf("trial %d %s burst=1: %v", i, g.name, err)
+			}
+			burst, err := trial.ExecuteBurst(g.g, packets, seed, 32)
+			if err != nil {
+				t.Fatalf("trial %d %s burst=32: %v", i, g.name, err)
+			}
+			if diffs := Compare(scalar, burst); len(diffs) != 0 {
+				t.Errorf("trial %d %s graph: burst=32 NOT equivalent to burst=1\nchain: %v\ngraph: %v\nviolations: %v",
+					i, g.name, trial.Chain, g.g, diffs)
+			}
+			if scalar.Copies != burst.Copies {
+				t.Errorf("trial %d %s graph: copies %d at burst=1, %d at burst=32",
+					i, g.name, scalar.Copies, burst.Copies)
+			}
+		}
+	}
+}
+
 // TestEquivalenceWithoutDirtyReuse re-runs a slice of the property
 // with OP#1 disabled, exercising the all-copies path.
 func TestEquivalenceWithoutDirtyReuse(t *testing.T) {

@@ -60,6 +60,11 @@ type LiveOptions struct {
 	// OnServer, if non-nil, observes the server after Start and before
 	// traffic — nfpd uses it to expose the live registry over HTTP.
 	OnServer func(*dataplane.Server)
+	// Burst sets the dataplane burst size (see dataplane.Config.Burst):
+	// 0 picks dataplane.DefaultBurst, 1 pins the scalar compatibility
+	// path. Burst > 1 also switches injection to the batched
+	// AllocBatch/InjectBatch path.
+	Burst int
 }
 
 // LiveRegistry, when non-nil, supplies NF factories to the live runs
@@ -95,6 +100,7 @@ func RunLiveGraphOpts(g graph.Node, n int, gen *trafficgen.Generator, opts LiveO
 		Registry:        LiveRegistry,
 		Telemetry:       opts.Telemetry,
 		TraceSampleRate: opts.TraceSampleRate,
+		Burst:           opts.Burst,
 	})
 	if err := srv.AddGraph(1, g); err != nil {
 		return LiveResult{}, err
@@ -126,17 +132,47 @@ func RunLiveGraphOpts(g graph.Node, n int, gen *trafficgen.Generator, opts LiveO
 	}()
 	var th stats.Throughput
 	th.StartNow()
-	for i := 0; i < n; i++ {
-		pkt := srv.Pool().Get()
-		for pkt == nil {
-			runtime.Gosched()
-			pkt = srv.Pool().Get()
+	if opts.Burst > 1 {
+		// Batched source: allocate and inject whole bursts, the way a
+		// DPDK driver hands up rx bursts. Short bursts under transient
+		// pool pressure are injected as-is.
+		batch := make([]*packet.Packet, opts.Burst)
+		for i := 0; i < n; {
+			want := opts.Burst
+			if n-i < want {
+				want = n - i
+			}
+			got := srv.Pool().AllocBatch(batch[:want])
+			for got == 0 {
+				runtime.Gosched()
+				got = srv.Pool().AllocBatch(batch[:want])
+			}
+			now := time.Now().UnixNano()
+			for j := 0; j < got; j++ {
+				packet.BuildInto(batch[j], gen.Next())
+				batch[j].Ingress = now
+			}
+			if acc := srv.InjectBatch(batch[:got]); acc != got {
+				for _, p := range batch[acc:got] {
+					p.Free()
+				}
+				return res, fmt.Errorf("classification failed")
+			}
+			i += got
 		}
-		packet.BuildInto(pkt, gen.Next())
-		pkt.Ingress = time.Now().UnixNano()
-		if !srv.Inject(pkt) {
-			pkt.Free()
-			return res, fmt.Errorf("classification failed")
+	} else {
+		for i := 0; i < n; i++ {
+			pkt := srv.Pool().Get()
+			for pkt == nil {
+				runtime.Gosched()
+				pkt = srv.Pool().Get()
+			}
+			packet.BuildInto(pkt, gen.Next())
+			pkt.Ingress = time.Now().UnixNano()
+			if !srv.Inject(pkt) {
+				pkt.Free()
+				return res, fmt.Errorf("classification failed")
+			}
 		}
 	}
 	srv.Stop()

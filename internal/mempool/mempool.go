@@ -74,28 +74,63 @@ func (p *Pool) SetReserve(k int) {
 // exhausted down to the reserve. Exhaustion models receive-queue drops
 // under overload.
 func (p *Pool) Get() *packet.Packet {
-	return p.get(true)
+	var one [1]*packet.Packet
+	if p.allocBatch(one[:], true) == 0 {
+		return nil
+	}
+	return one[0]
 }
 
 // GetReserved is Get for the dataplane's internal copy path: it may
 // consume the reserved buffers.
 func (p *Pool) GetReserved() *packet.Packet {
-	return p.get(false)
-}
-
-func (p *Pool) get(honorReserve bool) *packet.Packet {
-	p.mu.Lock()
-	n := len(p.free)
-	if n == 0 || (honorReserve && n <= p.reserve) {
-		p.mu.Unlock()
-		p.failures.Add(1)
+	var one [1]*packet.Packet
+	if p.allocBatch(one[:], false) == 0 {
 		return nil
 	}
-	pkt := p.free[n-1]
-	p.free = p.free[:n-1]
-	dip := !honorReserve && n-1 < p.reserve
-	used := int64(p.cap - (n - 1))
+	return one[0]
+}
+
+// AllocBatch fills out with up to len(out) fresh packets under a single
+// lock acquisition — the burst analog of Get. It returns the count; a
+// short batch (possibly zero) means the pool is exhausted down to the
+// reserve, and no buffers are lost: exactly the returned prefix is
+// handed out.
+func (p *Pool) AllocBatch(out []*packet.Packet) int {
+	return p.allocBatch(out, true)
+}
+
+// allocBatch is the one allocation implementation; Get/GetReserved are
+// single-element bursts over it.
+func (p *Pool) allocBatch(out []*packet.Packet, honorReserve bool) int {
+	if len(out) == 0 {
+		return 0
+	}
+	p.mu.Lock()
+	avail := len(p.free)
+	if honorReserve {
+		avail -= p.reserve
+	}
+	n := len(out)
+	if n > avail {
+		n = avail
+	}
+	if n <= 0 {
+		p.mu.Unlock()
+		p.failures.Add(1)
+		return 0
+	}
+	base := len(p.free) - n
+	copy(out[:n], p.free[base:])
+	p.free = p.free[:base]
+	dip := !honorReserve && base < p.reserve
+	used := int64(p.cap - base)
 	p.mu.Unlock()
+	if n < len(out) {
+		// The burst came back short: one exhaustion event, like a
+		// rejected scalar Get.
+		p.failures.Add(1)
+	}
 	if dip {
 		// The copy path is eating into the buffers held back for it —
 		// the early-warning sign of the SetReserve deadlock scenario.
@@ -103,13 +138,35 @@ func (p *Pool) get(honorReserve bool) *packet.Packet {
 	}
 	p.inUse.Set(used)
 	p.inUseHW.SetMax(used)
-	p.allocs.Add(1)
-	pkt.SetLen(0)
-	pkt.Meta = packet.Meta{}
-	pkt.Ingress = 0
-	pkt.Nil = false
-	pkt.Invalidate()
-	return pkt
+	p.allocs.Add(uint64(n))
+	for _, pkt := range out[:n] {
+		pkt.SetLen(0)
+		pkt.Meta = packet.Meta{}
+		pkt.Ingress = 0
+		pkt.Nil = false
+		pkt.Invalidate()
+	}
+	return n
+}
+
+// FreeBatch returns a batch of packets to the pool under a single lock
+// acquisition — the burst analog of per-packet Free. Every packet must
+// have been allocated from this pool and not freed since; mixing pools
+// or double-freeing trips the capacity guard.
+func (p *Pool) FreeBatch(pkts []*packet.Packet) {
+	if len(pkts) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free)+len(pkts) > p.cap {
+		p.mu.Unlock()
+		panic("mempool: FreeBatch overflows the pool (double free or foreign packet)")
+	}
+	p.free = append(p.free, pkts...)
+	used := int64(p.cap - len(p.free))
+	p.mu.Unlock()
+	p.inUse.Set(used)
+	p.frees.Add(uint64(len(pkts)))
 }
 
 // put returns a packet to the free list. Installed as the packet's

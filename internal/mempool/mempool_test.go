@@ -134,6 +134,190 @@ func TestReserve(t *testing.T) {
 	}
 }
 
+// TestAllocBatchExhaustion checks the burst alloc contract: a batch
+// against a nearly empty pool comes back short (exactly the returned
+// prefix is handed out, nothing leaks), and a batch against an empty
+// pool returns zero. Both count one exhaustion event, like a rejected
+// scalar Get.
+func TestAllocBatchExhaustion(t *testing.T) {
+	p := New(8, 64)
+	out := make([]*packet.Packet, 6)
+	if n := p.AllocBatch(out); n != 6 {
+		t.Fatalf("first batch = %d, want 6", n)
+	}
+	short := make([]*packet.Packet, 6)
+	n := p.AllocBatch(short)
+	if n != 2 {
+		t.Fatalf("short batch = %d, want 2", n)
+	}
+	for i := 0; i < n; i++ {
+		if short[i] == nil {
+			t.Fatalf("short[%d] is nil inside returned prefix", i)
+		}
+	}
+	if got := p.AllocBatch(make([]*packet.Packet, 3)); got != 0 {
+		t.Errorf("empty pool batch = %d, want 0", got)
+	}
+	st := p.Stats()
+	if st.Allocs != 8 {
+		t.Errorf("allocs = %d, want 8", st.Allocs)
+	}
+	if st.Failures != 2 {
+		t.Errorf("failures = %d, want 2 (one short batch, one empty)", st.Failures)
+	}
+	if st.InUse != 8 {
+		t.Errorf("in use = %d, want 8", st.InUse)
+	}
+	// Nothing was lost: freeing the handed-out prefixes restores the
+	// whole pool.
+	p.FreeBatch(out)
+	p.FreeBatch(short[:n])
+	if p.Available() != 8 || p.InUse() != 0 {
+		t.Errorf("after frees: available = %d, in use = %d", p.Available(), p.InUse())
+	}
+}
+
+// TestAllocBatchHonorsReserve checks that batch allocation stops at
+// the reserve line, leaving the reserved buffers to the copy path.
+func TestAllocBatchHonorsReserve(t *testing.T) {
+	p := New(8, 64)
+	p.SetReserve(3)
+	out := make([]*packet.Packet, 8)
+	if n := p.AllocBatch(out); n != 5 {
+		t.Fatalf("batch over reserve = %d, want 5", n)
+	}
+	if p.AllocBatch(make([]*packet.Packet, 1)) != 0 {
+		t.Error("batch dug into the reserve")
+	}
+	for i := 0; i < 3; i++ {
+		if p.GetReserved() == nil {
+			t.Fatalf("GetReserved %d failed after batch", i)
+		}
+	}
+}
+
+// TestAllocBatchResetsState verifies recycled packets come out of the
+// batched path as fresh as from scalar Get.
+func TestAllocBatchResetsState(t *testing.T) {
+	p := New(2, 256)
+	dirty := p.Get()
+	dirty.SetLen(100)
+	dirty.Meta = packet.Meta{MID: 9, PID: 9, Version: 9}
+	dirty.Ingress = 123
+	dirty.Nil = true
+	dirty.Free()
+	out := make([]*packet.Packet, 2)
+	if n := p.AllocBatch(out); n != 2 {
+		t.Fatalf("batch = %d", n)
+	}
+	for i, pkt := range out {
+		if pkt.Len() != 0 || pkt.Meta != (packet.Meta{}) || pkt.Ingress != 0 || pkt.Nil {
+			t.Errorf("out[%d] not reset: len=%d meta=%+v", i, pkt.Len(), pkt.Meta)
+		}
+	}
+}
+
+// TestFreeBatchRestoresGauge drives the leak gauge through the batched
+// path: in-use rises with AllocBatch and returns to zero via FreeBatch,
+// with alloc/free counters balanced.
+func TestFreeBatchRestoresGauge(t *testing.T) {
+	p := New(16, 64)
+	batch := make([]*packet.Packet, 10)
+	if n := p.AllocBatch(batch); n != 10 {
+		t.Fatalf("batch = %d", n)
+	}
+	if p.InUse() != 10 {
+		t.Errorf("in use = %d, want 10", p.InUse())
+	}
+	p.FreeBatch(batch[:4])
+	if p.InUse() != 6 {
+		t.Errorf("after partial free in use = %d, want 6", p.InUse())
+	}
+	p.FreeBatch(batch[4:])
+	st := p.Stats()
+	if st.InUse != 0 || p.Available() != 16 {
+		t.Errorf("after full free: in use = %d, available = %d", st.InUse, p.Available())
+	}
+	if st.Allocs != 10 || st.Frees != 10 {
+		t.Errorf("allocs/frees = %d/%d, want 10/10", st.Allocs, st.Frees)
+	}
+	if p.FreeBatch(nil); p.Stats().Frees != 10 {
+		t.Error("FreeBatch(nil) changed the free counter")
+	}
+}
+
+// TestFreeBatchOverflowPanics: returning more packets than the pool
+// can hold (a double free or a foreign packet) must trip the guard.
+func TestFreeBatchOverflowPanics(t *testing.T) {
+	p := New(2, 64)
+	a, b := p.Get(), p.Get()
+	p.FreeBatch([]*packet.Packet{a, b})
+	defer func() {
+		if recover() == nil {
+			t.Error("overflowing FreeBatch did not panic")
+		}
+	}()
+	p.FreeBatch([]*packet.Packet{a, b})
+}
+
+// TestBatchScalarInterop mixes scalar and batched alloc/free and
+// checks the pool stays consistent (the scalar paths are one-element
+// bursts over the same implementation).
+func TestBatchScalarInterop(t *testing.T) {
+	p := New(8, 64)
+	batch := make([]*packet.Packet, 3)
+	if n := p.AllocBatch(batch); n != 3 {
+		t.Fatalf("batch = %d", n)
+	}
+	scalar := p.Get()
+	if scalar == nil {
+		t.Fatal("scalar Get failed alongside batch")
+	}
+	scalar.Free() // scalar free of a scalar alloc
+	batch[0].Free()
+	p.FreeBatch(batch[1:])
+	if p.Available() != 8 || p.InUse() != 0 {
+		t.Errorf("available = %d, in use = %d", p.Available(), p.InUse())
+	}
+	st := p.Stats()
+	if st.Allocs != 4 || st.Frees != 4 {
+		t.Errorf("allocs/frees = %d/%d, want 4/4", st.Allocs, st.Frees)
+	}
+}
+
+// TestConcurrentBatchGetFree races batched allocators/freers against
+// scalar ones (run under -race in CI).
+func TestConcurrentBatchGetFree(t *testing.T) {
+	p := New(64, 128)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch := make([]*packet.Packet, 8)
+			for i := 0; i < 500; i++ {
+				n := p.AllocBatch(batch)
+				if n > 0 {
+					p.FreeBatch(batch[:n])
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if pkt := p.Get(); pkt != nil {
+					pkt.Free()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Available() != 64 || p.InUse() != 0 {
+		t.Errorf("leaked buffers: available = %d, in use = %d", p.Available(), p.InUse())
+	}
+}
+
 func TestReserveValidation(t *testing.T) {
 	p := New(4, 64)
 	defer func() {

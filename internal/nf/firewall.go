@@ -105,5 +105,39 @@ func (fw *Firewall) Process(p *packet.Packet) Verdict {
 	return Pass
 }
 
+// ProcessBatch implements BatchProcessor. The firewall is stateless
+// per packet, so consecutive packets of one flow (bursts are bursty by
+// nature) reuse the previous ACL walk's decision.
+func (fw *Firewall) ProcessBatch(pkts []*packet.Packet, verdicts []Verdict) {
+	var lastKey flow.Key
+	var lastAction ACLAction
+	haveLast := false
+	for i, p := range pkts {
+		k, err := flow.FromPacket(p)
+		if err != nil {
+			fw.dropped++
+			verdicts[i] = Drop // unparseable traffic is dropped, like a real filter
+			continue
+		}
+		if !haveLast || k != lastKey {
+			lastAction = fw.def
+			for j := range fw.rules {
+				if fw.rules[j].Matches(k) {
+					lastAction = fw.rules[j].Action
+					break
+				}
+			}
+			lastKey, haveLast = k, true
+		}
+		if lastAction == Deny {
+			fw.dropped++
+			verdicts[i] = Drop
+			continue
+		}
+		fw.passed++
+		verdicts[i] = Pass
+	}
+}
+
 // Stats returns (passed, dropped) packet counts.
 func (fw *Firewall) Stats() (passed, dropped uint64) { return fw.passed, fw.dropped }

@@ -60,6 +60,30 @@ func (lb *LoadBalancer) Process(p *packet.Packet) Verdict {
 	return Pass
 }
 
+// ProcessBatch implements BatchProcessor: the ECMP hash of a repeated
+// flow key is computed once per run of identical keys; the address
+// rewrite and checksum refresh still happen per packet (each packet has
+// its own buffer).
+func (lb *LoadBalancer) ProcessBatch(pkts []*packet.Packet, verdicts []Verdict) {
+	var lastKey flow.Key
+	lastIdx := -1
+	for i, p := range pkts {
+		verdicts[i] = Pass
+		k, err := flow.FromPacket(p)
+		if err != nil {
+			continue
+		}
+		if lastIdx < 0 || k != lastKey {
+			lastIdx = int(k.Hash() % uint64(len(lb.backends)))
+			lastKey = k
+		}
+		lb.counts[lastIdx]++
+		p.SetDstIP(lb.backends[lastIdx])
+		p.SetSrcIP(lb.vip)
+		p.UpdateL4Checksum() // address rewrite invalidates the TCP/UDP checksum
+	}
+}
+
 // Backend returns the backend a flow key maps to (for tests and for
 // verifying ECMP stability).
 func (lb *LoadBalancer) Backend(k flow.Key) netip.Addr {

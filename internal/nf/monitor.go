@@ -52,6 +52,32 @@ func (m *Monitor) Process(p *packet.Packet) Verdict {
 	return Pass
 }
 
+// ProcessBatch implements BatchProcessor: one map lookup per run of
+// same-flow packets instead of one per packet.
+func (m *Monitor) ProcessBatch(pkts []*packet.Packet, verdicts []Verdict) {
+	var lastKey flow.Key
+	var lastStats *FlowStats
+	for i, p := range pkts {
+		verdicts[i] = Pass
+		k, err := flow.FromPacket(p)
+		if err != nil {
+			continue
+		}
+		if lastStats == nil || k != lastKey {
+			st := m.counters[k]
+			if st == nil {
+				st = &FlowStats{}
+				m.counters[k] = st
+			}
+			lastKey, lastStats = k, st
+		}
+		lastStats.Packets++
+		lastStats.Bytes += uint64(p.Len())
+		m.total.Packets++
+		m.total.Bytes += uint64(p.Len())
+	}
+}
+
 // Flow returns the counters of one flow.
 func (m *Monitor) Flow(k flow.Key) (FlowStats, bool) {
 	st, ok := m.counters[k]

@@ -5,6 +5,12 @@
 // "An NF simply writes packet references into the receive ring buffer of
 // the other NF to realize packet delivery" — Enqueue/Dequeue move only
 // pointers, never packet bytes.
+//
+// The batch variants (EnqueueBatch/DequeueBatch) are the DPDK-style
+// burst fast path: one producer/consumer index update per burst instead
+// of per packet, so the synchronization cost amortizes across the whole
+// burst. The scalar Enqueue/Dequeue are thin wrappers over the batch
+// path — there is exactly one drain implementation.
 package ring
 
 import (
@@ -50,41 +56,65 @@ func (r *Ring) Len() int {
 // full (the caller decides whether to drop or retry; NFP runtimes retry,
 // modeling backpressure toward the upstream ring).
 func (r *Ring) Enqueue(p *packet.Packet) bool {
+	var one [1]*packet.Packet
+	one[0] = p
+	return r.EnqueueBatch(one[:]) == 1
+}
+
+// EnqueueBatch appends up to len(pkts) references in FIFO order and
+// returns how many were accepted — a partial count when the ring fills
+// mid-burst (the caller retries the tail, as with a rejected Enqueue).
+// All accepted slots are published with a single release store of the
+// producer index, so consumers see either none or all of the burst's
+// prefix.
+func (r *Ring) EnqueueBatch(pkts []*packet.Packet) int {
 	tail := r.tail.Load()
-	if tail-r.head.Load() >= uint64(len(r.buf)) {
-		return false
+	free := uint64(len(r.buf)) - (tail - r.head.Load())
+	n := uint64(len(pkts))
+	if n > free {
+		n = free
 	}
-	r.buf[tail&r.mask].Store(p)
-	r.tail.Store(tail + 1)
-	return true
+	if n == 0 {
+		return 0
+	}
+	for i := uint64(0); i < n; i++ {
+		r.buf[(tail+i)&r.mask].Store(pkts[i])
+	}
+	r.tail.Store(tail + n)
+	return int(n)
 }
 
 // Dequeue removes and returns the oldest packet reference, or nil if
 // the ring is empty.
 func (r *Ring) Dequeue() *packet.Packet {
-	head := r.head.Load()
-	if head == r.tail.Load() {
+	var one [1]*packet.Packet
+	if r.DequeueBatch(one[:]) == 0 {
 		return nil
 	}
-	p := r.buf[head&r.mask].Load()
-	r.buf[head&r.mask].Store(nil)
-	r.head.Store(head + 1)
-	return p
+	return one[0]
 }
 
-// DequeueBatch fills out with up to len(out) references and returns the
-// count, modeling DPDK burst receive.
+// DequeueBatch fills out with up to len(out) references in FIFO order
+// and returns the count, modeling DPDK burst receive. The consumed
+// slots are released with a single store of the consumer index, so the
+// producer regains the whole burst's capacity at once.
 func (r *Ring) DequeueBatch(out []*packet.Packet) int {
-	n := 0
-	for n < len(out) {
-		p := r.Dequeue()
-		if p == nil {
-			break
-		}
-		out[n] = p
-		n++
+	head := r.head.Load()
+	avail := r.tail.Load() - head
+	n := uint64(len(out))
+	if n > avail {
+		n = avail
 	}
-	return n
+	if n == 0 {
+		return 0
+	}
+	for i := uint64(0); i < n; i++ {
+		slot := &r.buf[(head+i)&r.mask]
+		out[i] = slot.Load()
+		slot.Store(nil)
+	}
+	r.head.Store(head + n)
+	return int(n)
 }
 
 // MPSC serializes multiple producers in front of a Ring. NFP uses it at
@@ -102,16 +132,30 @@ func NewMPSC(capacity int) *MPSC {
 
 // Enqueue appends a reference from any goroutine.
 func (m *MPSC) Enqueue(p *packet.Packet) bool {
+	var one [1]*packet.Packet
+	one[0] = p
+	return m.EnqueueBatch(one[:]) == 1
+}
+
+// EnqueueBatch appends up to len(pkts) references from any goroutine
+// and returns the accepted count. The whole burst rides on one lock
+// acquisition and one producer-index store — the burst analog of DPDK's
+// single-CAS multi-producer enqueue.
+func (m *MPSC) EnqueueBatch(pkts []*packet.Packet) int {
 	for !m.lock.CompareAndSwap(0, 1) {
 		runtime.Gosched() // single-core friendly: let the holder run
 	}
-	ok := m.ring.Enqueue(p)
+	n := m.ring.EnqueueBatch(pkts)
 	m.lock.Store(0)
-	return ok
+	return n
 }
 
 // Dequeue removes the oldest reference; single consumer only.
 func (m *MPSC) Dequeue() *packet.Packet { return m.ring.Dequeue() }
+
+// DequeueBatch fills out with up to len(out) references; single
+// consumer only.
+func (m *MPSC) DequeueBatch(out []*packet.Packet) int { return m.ring.DequeueBatch(out) }
 
 // Len returns the approximate queue length.
 func (m *MPSC) Len() int { return m.ring.Len() }
