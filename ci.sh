@@ -2,11 +2,24 @@
 # CI entry point: build, vet, and race-test the whole module.
 # Mirrors .github/workflows/ci.yml so the gate is reproducible locally.
 #
-#   ./ci.sh        — the blocking gate (build + vet + race tests)
+#   ./ci.sh        — the blocking gate (build + vet + race tests, plus
+#                    staticcheck when it is on PATH)
 #   ./ci.sh bench  — the non-blocking burst-regression job: runs the
 #                    Burst1/Burst32 benchmark pairs with -benchmem and
 #                    writes BENCH_burst.json for artifact upload.
+#   ./ci.sh fuzz   — the non-blocking fuzz smoke: each native fuzz
+#                    target gets a short -fuzztime budget (override with
+#                    FUZZ_TIME) on top of its checked-in seed corpus.
 set -eux
+
+if [ "${1:-}" = "fuzz" ]; then
+    ft="${FUZZ_TIME:-10s}"
+    # One -fuzz invocation per target: go test refuses to fuzz more
+    # than one target (or package) at a time.
+    go test -run '^$' -fuzz '^FuzzPolicyCompile$' -fuzztime "$ft" ./internal/core/
+    go test -run '^$' -fuzz '^FuzzClassify$' -fuzztime "$ft" ./internal/dataplane/
+    exit 0
+fi
 
 if [ "${1:-}" = "bench" ]; then
     out="${BENCH_OUT:-BENCH_burst.json}"
@@ -31,4 +44,8 @@ fi
 
 go build ./...
 go vet ./...
+# staticcheck is optional locally (no forced install); CI installs it.
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+fi
 go test -race ./...

@@ -64,6 +64,12 @@ func run() int {
 	withPprof := flag.Bool("pprof", false, "also mount /debug/pprof on the telemetry address")
 	burst := flag.Int("burst", dataplane.DefaultBurst,
 		"dataplane burst size: packets moved per ring operation (1 = scalar compatibility mode)")
+	ringPolicy := flag.String("ring-policy", "block",
+		"receive-ring backpressure policy: block (lossless), drop-tail, or shed-lowest-priority")
+	spinLimit := flag.Int("spin-limit", dataplane.DefaultSpinLimit,
+		"bounded-spin yields before a full-ring producer parks or sheds")
+	ringSize := flag.Int("ring-size", 0,
+		"per-NF receive ring capacity (0 = dataplane default; small rings surface overload sooner)")
 	flag.Parse()
 
 	if *seed == 0 {
@@ -125,8 +131,24 @@ func run() int {
 		fmt.Printf("warning:           %s\n", w)
 	}
 
-	opts := experiments.LiveOptions{TraceSampleRate: *traceSample, Burst: *burst}
+	bpPolicy, err := dataplane.ParseBackpressurePolicy(*ringPolicy)
+	if err != nil {
+		fail(err)
+	}
+	opts := experiments.LiveOptions{
+		TraceSampleRate: *traceSample,
+		Burst:           *burst,
+		RingPolicy:      bpPolicy,
+		SpinLimit:       *spinLimit,
+		RingSize:        *ringSize,
+	}
+	if bpPolicy == dataplane.BPShedLowestPriority {
+		// Rank NFs from the policy's Priority rules so only the
+		// lowest-ranked rings shed under overload.
+		opts.NodePriority = pol.PriorityRanks()
+	}
 	fmt.Printf("burst size:        %d\n", *burst)
+	fmt.Printf("ring policy:       %s (spin limit %d)\n", bpPolicy, *spinLimit)
 	if *pcapPath != "" {
 		f, err := os.Create(*pcapPath)
 		if err != nil {
@@ -183,6 +205,12 @@ func report(label string, r experiments.LiveResult) {
 	fmt.Printf("  outputs/drops:   %d / %d\n", r.Outputs, r.Drops)
 	fmt.Printf("  mean latency:    %.1f µs (this host)\n", r.MeanLatencyUS)
 	fmt.Printf("  throughput:      %.3f Mpps (this host)\n", r.Mpps)
+	if r.Sheds > 0 {
+		fmt.Printf("  ring sheds:      %d (backpressure policy)\n", r.Sheds)
+	}
+	if r.Panics > 0 {
+		fmt.Printf("  NF panics:       %d (%d restarts)\n", r.Panics, r.Restarts)
+	}
 	if r.PoolLeak != 0 {
 		fmt.Printf("  POOL LEAK:       %d buffers\n", r.PoolLeak)
 	}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"nfp/internal/graph"
+	"nfp/internal/nfa"
+	"nfp/internal/policy"
+)
+
+// fuzzLookup resolves every NF name to a catalog profile, chosen
+// deterministically by a name hash. The fuzzer invents arbitrary NF
+// names; mapping them all onto real profiles lets inputs reach the
+// scheduling and copy-group logic instead of dying at name resolution,
+// while staying reproducible (same name, same profile, every run).
+func fuzzLookup(name string) (nfa.Profile, bool) {
+	if p, ok := nfa.LookupProfile(name); ok {
+		return p, true
+	}
+	catalog := nfa.DefaultCatalog()
+	var h uint32 = 2166136261
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	p := catalog[int(h%uint32(len(catalog)))]
+	p.Name = name
+	return p, true
+}
+
+// FuzzPolicyCompile drives arbitrary policy text through the full
+// orchestrator front half: parse → validate → compile → graph
+// validation. The compiler must never panic, and every graph it
+// produces must pass graph.Validate and contain exactly the policy's
+// NFs.
+func FuzzPolicyCompile(f *testing.F) {
+	f.Add("Chain(ids, monitor, lb)")
+	f.Add("Order(vpn, before, monitor)\nOrder(firewall, before, lb)")
+	f.Add("Priority(ids > firewall)")
+	f.Add("Position(vpn, first)\nChain(monitor, firewall)")
+	f.Add("Order(a, before, b)\nOrder(b, before, c)\nOrder(c, before, a)")
+	f.Add("Chain(x, y)\nPriority(y > x)\nPosition(x, last)")
+	f.Add("Order(nat, before, nat)")
+	f.Add("Chain(monitor)\n# comment\n\nChain(shaper, proxy)")
+	f.Fuzz(func(t *testing.T, text string) {
+		pol, err := policy.ParseString(text)
+		if err != nil {
+			return
+		}
+		res, err := Compile(pol, fuzzLookup, Options{})
+		if err != nil {
+			// Rejected policies (conflicts, unsatisfiable pins, cycles)
+			// are fine; panics are not, and the recover-free run to this
+			// point is the assertion.
+			return
+		}
+		if err := graph.Validate(res.Graph); err != nil {
+			t.Fatalf("compiled graph fails validation: %v\npolicy: %q\ngraph: %s", err, text, res.Graph)
+		}
+		if got, want := graph.NFCount(res.Graph), len(pol.NFs()); got != want {
+			t.Fatalf("graph has %d NFs, policy names %d\npolicy: %q\ngraph: %s", got, want, text, res.Graph)
+		}
+		// The sequential compilation of the same policy must also hold.
+		seq, err := Compile(pol, fuzzLookup, Options{NoParallelism: true})
+		if err != nil {
+			t.Fatalf("parallel compile succeeded but sequential failed: %v\npolicy: %q", err, text)
+		}
+		if err := graph.Validate(seq.Graph); err != nil {
+			t.Fatalf("sequential graph fails validation: %v\npolicy: %q", err, text)
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"nfp/internal/packet"
+	"nfp/internal/ring"
+)
+
+// BackpressurePolicy selects what a producer does when an NF receive
+// ring stays full: the overload contract of every ring in the server.
+type BackpressurePolicy uint8
+
+const (
+	// BPBlock (the default) never loses a packet: the producer spins a
+	// bounded number of yields, then parks with exponential backoff
+	// until the ring drains — lossless backpressure that propagates
+	// toward the traffic source without pegging a core.
+	BPBlock BackpressurePolicy = iota
+	// BPDropTail sheds immediately: whatever does not fit in the ring
+	// is dropped at the tail (counted as a shed and routed through the
+	// normal drop path so joins and pool accounting stay exact).
+	BPDropTail
+	// BPShedLowestPriority spends the bounded spin budget first, then
+	// sheds — but only into the rings of the plan's lowest-priority
+	// NFs (ranks from the policy layer's Priority rules, see
+	// policy.PriorityRanks and Config.NodePriority); higher-priority
+	// NFs keep the lossless block behavior.
+	BPShedLowestPriority
+)
+
+// String renders the policy as its flag spelling.
+func (p BackpressurePolicy) String() string {
+	switch p {
+	case BPBlock:
+		return "block"
+	case BPDropTail:
+		return "drop-tail"
+	case BPShedLowestPriority:
+		return "shed-lowest-priority"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParseBackpressurePolicy parses a -ring-policy flag value.
+func ParseBackpressurePolicy(s string) (BackpressurePolicy, error) {
+	switch s {
+	case "block", "":
+		return BPBlock, nil
+	case "drop-tail", "droptail":
+		return BPDropTail, nil
+	case "shed-lowest-priority", "shed":
+		return BPShedLowestPriority, nil
+	}
+	return BPBlock, fmt.Errorf("unknown ring policy %q (block, drop-tail, shed-lowest-priority)", s)
+}
+
+// DefaultSpinLimit is the default bounded-spin budget: enough yields to
+// ride out a consumer that is merely descheduled, small enough that a
+// genuine stall transitions to parking (or shedding) quickly.
+const DefaultSpinLimit = 256
+
+// ringPush delivers a burst of packet references into node n's receive
+// ring under the server's backpressure policy. Every packet ends up
+// either enqueued or shed (shed packets ride the node's drop route so
+// join accounting and buffer reclamation stay exact — a shed is
+// indistinguishable from the NF itself dropping the packet, which is
+// precisely the §5.2 "ignore" semantics). Partial batch accepts count
+// sheds per packet, never per burst.
+func (s *Server) ringPush(pr *planRuntime, n *nodeRT, pkts []*packet.Packet) {
+	rem := pkts
+	if k := n.rx.EnqueueBatch(rem); k > 0 { // fast path: no waiter state
+		rem = rem[k:]
+	}
+	if len(rem) > 0 {
+		w := ring.Waiter{SpinLimit: s.cfg.SpinLimit}
+		for len(rem) > 0 {
+			if n.canShed && (n.shedImmediate || w.Exhausted()) {
+				s.shedBurst(pr, n, rem)
+				rem = nil
+				break
+			}
+			// Counted per step, not flushed at the end, so a producer
+			// parked behind a long stall is visible on /metrics while it
+			// is still parked.
+			if w.Wait() {
+				s.bpParks.Add(1)
+			} else {
+				s.bpYields.Add(1)
+			}
+			if k := n.rx.EnqueueBatch(rem); k > 0 {
+				rem = rem[k:]
+				w.Reset()
+			}
+		}
+	}
+	n.ringHW.SetMax(int64(n.rx.Len()))
+}
+
+// shedBurst drops a run of packet references that could not be
+// delivered into n's ring: per-reference shed counters, then the
+// node's drop route (the nearest enclosing join, or the output drop
+// counter). Sheds count references — parallel branch tails of one
+// packet shed independently — while the drop route resolves to one
+// terminal drop per packet.
+func (s *Server) shedBurst(pr *planRuntime, n *nodeRT, pkts []*packet.Packet) {
+	n.sheds.Add(uint64(len(pkts)))
+	s.sheds.Add(uint64(len(pkts)))
+	for _, pkt := range pkts {
+		s.deliverDrop(pr, n.plan.DropTo, pkt)
+	}
+}

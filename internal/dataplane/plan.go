@@ -133,6 +133,27 @@ func (p *Plan) CopiesPerPacket() int {
 	return n
 }
 
+// ShedSet resolves which nodes the shed-lowest-priority backpressure
+// policy may shed into: nodes whose priority rank — looked up in prio
+// by NF name, with unlisted names ranking 0 (lowest) — equals the
+// plan's minimum rank. With no Priority rules every node ranks 0 and
+// the whole plan is sheddable (the policy degrades to bounded-spin
+// drop-tail), which is the documented fallback.
+func (p *Plan) ShedSet(prio map[string]int) []bool {
+	min := 0
+	for i := range p.Nodes {
+		r := prio[p.Nodes[i].NF.Name]
+		if i == 0 || r < min {
+			min = r
+		}
+	}
+	out := make([]bool, len(p.Nodes))
+	for i := range p.Nodes {
+		out[i] = prio[p.Nodes[i].NF.Name] == min
+	}
+	return out
+}
+
 // CompilePlan lowers a validated service graph into an execution plan.
 func CompilePlan(mid uint32, g graph.Node) (*Plan, error) {
 	if err := graph.Validate(g); err != nil {

@@ -1,7 +1,7 @@
 package dataplane
 
 import (
-	"runtime"
+	"sync/atomic"
 	"time"
 
 	"nfp/internal/nf"
@@ -9,6 +9,14 @@ import (
 	"nfp/internal/ring"
 	"nfp/internal/telemetry"
 )
+
+// instBox wraps the live NF instance so the supervisor can swap in a
+// fresh one with a single atomic pointer store while the runtime
+// goroutine keeps draining (it picks the replacement up at its next
+// burst).
+type instBox struct {
+	nf nf.NF
+}
 
 // nodeRT is one NF runtime (§5.2): the per-NF shim that collects
 // packets from the receive ring, hands them to the NF logic, and then
@@ -21,12 +29,32 @@ import (
 // the service-time histogram sample are paid once per burst, and the
 // passed packets of a burst are forwarded with one batched enqueue when
 // the next hop is a single NF.
+//
+// The runtime is also the NF's crash boundary: Process/ProcessBatch
+// run under panic recovery, so a faulty NF loses (at most) the burst
+// it was processing — every in-flight packet of the panicked burst is
+// routed through the drop path back to the pool — and the instance is
+// marked unhealthy for the supervisor to restart with backoff. While
+// unhealthy, arrivals are drained and dropped (graceful degradation:
+// the rest of the graph, and every other graph, keeps forwarding).
 type nodeRT struct {
 	plan   *PlanNode
-	inst   nf.NF
+	instP  atomic.Pointer[instBox]
 	rx     *ring.MPSC
 	server *Server
 	pr     *planRuntime
+
+	// Health and restart state. healthy flips false on panic (runtime
+	// goroutine) and true on restart (supervisor goroutine); restartAt
+	// is the earliest restart time in unixnano; backoffNS doubles per
+	// panic up to Config.RestartBackoffMax.
+	healthy   atomic.Bool
+	restartAt atomic.Int64
+	backoffNS atomic.Int64
+
+	// Backpressure policy resolution for this node's receive ring.
+	canShed       bool
+	shedImmediate bool
 
 	// Per-runtime burst scratch (single consumer, never shared).
 	burst    []*packet.Packet
@@ -34,28 +62,116 @@ type nodeRT struct {
 	passBuf  []*packet.Packet
 
 	// Registry-backed per-NF metrics (labelled nf=<name>, mid=<mid>).
-	pktsIn  *telemetry.Counter
-	pktsOut *telemetry.Counter
-	drops   *telemetry.Counter
-	svcTime *telemetry.Histogram
-	ringHW  *telemetry.Gauge
+	pktsIn       *telemetry.Counter
+	pktsOut      *telemetry.Counter
+	drops        *telemetry.Counter
+	sheds        *telemetry.Counter
+	panics       *telemetry.Counter
+	panicDrops   *telemetry.Counter
+	unhealthyDry *telemetry.Counter
+	restarts     *telemetry.Counter
+	restartFails *telemetry.Counter
+	healthyG     *telemetry.Gauge
+	svcTime      *telemetry.Histogram
+	ringHW       *telemetry.Gauge
 }
 
+// inst returns the live NF instance.
+func (n *nodeRT) inst() nf.NF { return n.instP.Load().nf }
+
 // run is the NF runtime goroutine body. It polls the receive ring —
-// DPDK-style busy polling softened with Gosched so the simulation works
-// on small core counts — until the server stops and the ring drains.
+// DPDK-style busy polling softened with the bounded spin+park waiter,
+// so an idle or stalled runtime releases its core — until the server
+// stops and the ring drains.
 func (n *nodeRT) run() {
+	idle := ring.Waiter{SpinLimit: n.server.cfg.SpinLimit}
 	for {
 		cnt := n.rx.DequeueBatch(n.burst)
 		if cnt == 0 {
 			if n.server.stopped.Load() {
 				return
 			}
-			runtime.Gosched()
+			idle.Wait()
+			continue
+		}
+		idle.Reset()
+		if !n.healthy.Load() {
+			// Crashed and not yet restarted: keep the graph draining by
+			// dropping arrivals through the normal drop route (buffers
+			// return to the pool, joins complete, accounting balances).
+			n.pktsIn.Add(uint64(cnt))
+			n.dropBurst(n.burst[:cnt], n.unhealthyDry)
 			continue
 		}
 		n.processBurst(n.burst[:cnt])
 	}
+}
+
+// invoke runs the NF over one burst inside the crash boundary. It
+// reports false when the NF panicked, in which case the verdicts are
+// meaningless and the caller must treat the whole burst as dropped.
+func (n *nodeRT) invoke(pkts []*packet.Packet) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			n.onPanic(r)
+			ok = false
+		}
+	}()
+	nf.ProcessAll(n.inst(), pkts, n.verdicts)
+	return true
+}
+
+// onPanic records an NF crash: the instance is unhealthy from now
+// until the supervisor swaps in a fresh one, no earlier than the
+// (exponentially backed off) restart time.
+func (n *nodeRT) onPanic(cause any) {
+	_ = cause // the panic value is intentionally not propagated; counters tell the story
+	n.panics.Inc()
+	backoff := n.backoffNS.Load()
+	if backoff == 0 {
+		backoff = int64(n.server.cfg.RestartBackoff)
+	} else {
+		backoff *= 2
+		if max := int64(n.server.cfg.RestartBackoffMax); backoff > max {
+			backoff = max
+		}
+	}
+	n.backoffNS.Store(backoff)
+	n.restartAt.Store(time.Now().UnixNano() + backoff)
+	n.healthyG.Set(0)
+	n.healthy.Store(false)
+}
+
+// dropBurst routes every packet of a burst through the node's drop
+// target, charging cause (panic or unhealthy-drain) and the node's
+// drop counter so per-NF conservation (in == out + drops) still holds.
+func (n *nodeRT) dropBurst(pkts []*packet.Packet, cause *telemetry.Counter) {
+	cause.Add(uint64(len(pkts)))
+	n.drops.Add(uint64(len(pkts)))
+	for _, pkt := range pkts {
+		n.server.deliverDrop(n.pr, n.plan.DropTo, pkt)
+	}
+}
+
+// maybeRestart is the supervisor's per-node step: once the backoff
+// deadline passes, build a fresh instance from the registry and swap
+// it in. A registry miss (the node was installed with a caller-provided
+// instance of an unregistered type) counts as a failed restart and
+// retries after another backoff period.
+func (n *nodeRT) maybeRestart(now int64) {
+	if n.healthy.Load() || now < n.restartAt.Load() {
+		return
+	}
+	inst, err := n.server.cfg.Registry.New(n.plan.NF.Name)
+	if err != nil {
+		n.restartFails.Inc()
+		n.restartAt.Store(now + n.backoffNS.Load())
+		return
+	}
+	n.instP.Store(&instBox{nf: inst})
+	n.restarts.Inc()
+	n.healthyG.Set(1)
+	n.healthy.Store(true)
 }
 
 // processBurst handles one drained burst: one counter add for arrivals,
@@ -69,7 +185,13 @@ func (n *nodeRT) run() {
 func (n *nodeRT) processBurst(pkts []*packet.Packet) {
 	n.pktsIn.Add(uint64(len(pkts)))
 	start := time.Now()
-	nf.ProcessAll(n.inst, pkts, n.verdicts)
+	if !n.invoke(pkts) {
+		// The NF panicked mid-burst: its verdicts (and any partial
+		// packet writes) are void. The burst is the failure unit — all
+		// its packets take the drop route back to the pool.
+		n.dropBurst(pkts, n.panicDrops)
+		return
+	}
 	// One amortized histogram sample: the mean per-packet service time
 	// of the burst (identical to the scalar sample when the burst is 1).
 	n.svcTime.Record(time.Since(start).Nanoseconds() / int64(len(pkts)))

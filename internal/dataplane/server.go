@@ -2,7 +2,6 @@ package dataplane
 
 import (
 	"fmt"
-	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -58,6 +57,21 @@ type Config struct {
 	TraceSampleRate int
 	// TraceCapacity bounds the trace event ring (default 4096).
 	TraceCapacity int
+	// RingPolicy is the backpressure policy applied when an NF receive
+	// ring is full (default BPBlock: bounded spin, then park — lossless).
+	RingPolicy BackpressurePolicy
+	// SpinLimit bounds the Gosched-yield phase of every retry loop
+	// before it parks or sheds (default DefaultSpinLimit).
+	SpinLimit int
+	// NodePriority ranks NFs by name for the shed-lowest-priority
+	// policy (higher = more important; unlisted NFs rank 0). Derive it
+	// from a policy's Priority rules with policy.PriorityRanks.
+	NodePriority map[string]int
+	// RestartBackoff is the supervisor's initial delay before
+	// restarting a crashed NF instance; it doubles per panic up to
+	// RestartBackoffMax (defaults 1ms and 250ms).
+	RestartBackoff    time.Duration
+	RestartBackoffMax time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -91,6 +105,21 @@ func (c *Config) setDefaults() {
 	if c.Telemetry == nil {
 		c.Telemetry = telemetry.NewRegistry()
 	}
+	if c.SpinLimit == 0 {
+		c.SpinLimit = DefaultSpinLimit
+	}
+	if c.SpinLimit < 0 {
+		c.SpinLimit = 0
+	}
+	if c.RestartBackoff == 0 {
+		c.RestartBackoff = time.Millisecond
+	}
+	if c.RestartBackoffMax == 0 {
+		c.RestartBackoffMax = 250 * time.Millisecond
+	}
+	if c.RestartBackoffMax < c.RestartBackoff {
+		c.RestartBackoffMax = c.RestartBackoff
+	}
 }
 
 // planRuntime is one installed service graph with its NF runtimes.
@@ -123,6 +152,12 @@ type Server struct {
 	copies    *telemetry.Counter
 	copiedB   *telemetry.Counter // bytes duplicated (resource overhead meter)
 	mergeErrs *telemetry.Counter
+	// Overload/fault counters: ring sheds (packets lost to the
+	// drop-tail/shed policies) and the spin/park activity of every
+	// backpressured retry loop.
+	sheds    *telemetry.Counter
+	bpYields *telemetry.Counter
+	bpParks  *telemetry.Counter
 }
 
 // New creates a server from cfg.
@@ -141,6 +176,9 @@ func New(cfg Config) *Server {
 	s.copies = s.tel.Counter("nfp_copies_total")
 	s.copiedB = s.tel.Counter("nfp_copied_bytes_total")
 	s.mergeErrs = s.tel.Counter("nfp_merge_errors_total")
+	s.sheds = s.tel.Counter("nfp_ring_sheds_total")
+	s.bpYields = s.tel.Counter("nfp_backpressure_yields_total")
+	s.bpParks = s.tel.Counter("nfp_backpressure_parks_total")
 	s.classifier.bindTelemetry(s.tel)
 	s.pool.MustRegister(s.tel)
 	s.plans.Store(&map[uint32]*planRuntime{})
@@ -182,6 +220,7 @@ func (s *Server) AddGraphInstances(mid uint32, g graph.Node, instances map[graph
 		return err
 	}
 	pr := &planRuntime{plan: plan}
+	shedSet := plan.ShedSet(s.cfg.NodePriority)
 	for i := range plan.Nodes {
 		pn := &plan.Nodes[i]
 		inst := instances[pn.NF]
@@ -195,21 +234,33 @@ func (s *Server) AddGraphInstances(mid uint32, g graph.Node, instances map[graph
 			telemetry.L("nf", pn.NF.String()),
 			telemetry.L("mid", strconv.FormatUint(uint64(mid), 10)),
 		}
-		pr.nodes = append(pr.nodes, &nodeRT{
-			plan:     pn,
-			inst:     inst,
-			rx:       ring.NewMPSC(s.cfg.RingSize),
-			server:   s,
-			pr:       pr,
-			burst:    make([]*packet.Packet, s.cfg.Burst),
-			verdicts: make([]nf.Verdict, s.cfg.Burst),
-			passBuf:  make([]*packet.Packet, 0, s.cfg.Burst),
-			pktsIn:   s.tel.Counter("nfp_nf_packets_in_total", labels...),
-			pktsOut:  s.tel.Counter("nfp_nf_packets_out_total", labels...),
-			drops:    s.tel.Counter("nfp_nf_drops_total", labels...),
-			svcTime:  s.tel.Histogram("nfp_nf_service_time_ns", labels...),
-			ringHW:   s.tel.Gauge("nfp_nf_ring_high_water", labels...),
-		})
+		n := &nodeRT{
+			plan:          pn,
+			rx:            ring.NewMPSC(s.cfg.RingSize),
+			server:        s,
+			pr:            pr,
+			canShed:       s.cfg.RingPolicy == BPDropTail || (s.cfg.RingPolicy == BPShedLowestPriority && shedSet[i]),
+			shedImmediate: s.cfg.RingPolicy == BPDropTail,
+			burst:         make([]*packet.Packet, s.cfg.Burst),
+			verdicts:      make([]nf.Verdict, s.cfg.Burst),
+			passBuf:       make([]*packet.Packet, 0, s.cfg.Burst),
+			pktsIn:        s.tel.Counter("nfp_nf_packets_in_total", labels...),
+			pktsOut:       s.tel.Counter("nfp_nf_packets_out_total", labels...),
+			drops:         s.tel.Counter("nfp_nf_drops_total", labels...),
+			sheds:         s.tel.Counter("nfp_nf_ring_sheds_total", labels...),
+			panics:        s.tel.Counter("nfp_nf_panics_total", labels...),
+			panicDrops:    s.tel.Counter("nfp_nf_panic_drops_total", labels...),
+			unhealthyDry:  s.tel.Counter("nfp_nf_unhealthy_drops_total", labels...),
+			restarts:      s.tel.Counter("nfp_nf_restarts_total", labels...),
+			restartFails:  s.tel.Counter("nfp_nf_restart_failures_total", labels...),
+			healthyG:      s.tel.Gauge("nfp_nf_healthy", labels...),
+			svcTime:       s.tel.Histogram("nfp_nf_service_time_ns", labels...),
+			ringHW:        s.tel.Gauge("nfp_nf_ring_high_water", labels...),
+		}
+		n.instP.Store(&instBox{nf: inst})
+		n.healthy.Store(true)
+		n.healthyG.Set(1)
+		pr.nodes = append(pr.nodes, n)
 	}
 
 	s.plansMu.Lock()
@@ -277,7 +328,37 @@ func (s *Server) Start() error {
 			m.run()
 		}(m)
 	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.supervise()
+	}()
 	return nil
+}
+
+// supervise is the NF supervisor goroutine: it periodically scans every
+// installed node for crashed instances whose restart backoff elapsed
+// and swaps in fresh instances from the registry, so a panicking NF
+// degrades its own micrograph instead of killing the server.
+func (s *Server) supervise() {
+	// Scan often enough that the smallest configured backoff is honored
+	// promptly, but never busier than 4x the backoff rate.
+	interval := s.cfg.RestartBackoff / 4
+	if interval < 50*time.Microsecond {
+		interval = 50 * time.Microsecond
+	}
+	if interval > time.Millisecond {
+		interval = time.Millisecond
+	}
+	for !s.stopped.Load() {
+		time.Sleep(interval)
+		now := time.Now().UnixNano()
+		for _, pr := range *s.plans.Load() {
+			for _, n := range pr.nodes {
+				n.maybeRestart(now)
+			}
+		}
+	}
 }
 
 // Stop drains in-flight packets and terminates all goroutines. It must
@@ -289,8 +370,9 @@ func (s *Server) Stop() {
 	// Wait until every injected packet surfaced as an output or a
 	// drop. The output channel consumer must keep draining until Stop
 	// returns, or this backpressures forever.
+	w := ring.Waiter{SpinLimit: s.cfg.SpinLimit}
 	for s.injected.Value() > s.outCount.Value()+s.drops.Value() {
-		runtime.Gosched()
+		w.Wait()
 	}
 	s.stopped.Store(true)
 	for _, m := range s.mergers {
@@ -453,16 +535,7 @@ func (s *Server) execBurst(pr *planRuntime, ds []Dispatch, pkts []*packet.Packet
 	if len(ds) == 1 && ds[0].NewVersion == 0 &&
 		len(ds[0].Targets) == 1 && ds[0].Targets[0].Kind == ToNode &&
 		len(pkts) > 0 && pkts[0].Meta.Version == ds[0].SrcVersion {
-		n := pr.nodes[ds[0].Targets[0].Node]
-		rem := pkts
-		for len(rem) > 0 {
-			k := n.rx.EnqueueBatch(rem)
-			rem = rem[k:]
-			if len(rem) > 0 {
-				runtime.Gosched() // ring full: backpressure
-			}
-		}
-		n.ringHW.SetMax(int64(n.rx.Len()))
+		s.ringPush(pr, pr.nodes[ds[0].Targets[0].Node], pkts)
 		return
 	}
 	for _, pkt := range pkts {
@@ -470,14 +543,22 @@ func (s *Server) execBurst(pr *planRuntime, ds []Dispatch, pkts []*packet.Packet
 	}
 }
 
-// allocCopy obtains a pool buffer, applying backpressure (spin +
-// Gosched) when the pool is momentarily exhausted.
+// allocCopy obtains a pool buffer, applying lossless backpressure
+// (bounded spin, then park) when the pool is momentarily exhausted.
 func (s *Server) allocCopy() *packet.Packet {
+	if pkt := s.pool.GetReserved(); pkt != nil {
+		return pkt
+	}
+	w := ring.Waiter{SpinLimit: s.cfg.SpinLimit}
 	for {
+		if w.Wait() {
+			s.bpParks.Add(1)
+		} else {
+			s.bpYields.Add(1)
+		}
 		if pkt := s.pool.GetReserved(); pkt != nil {
 			return pkt
 		}
-		runtime.Gosched()
 	}
 }
 
@@ -485,11 +566,9 @@ func (s *Server) allocCopy() *packet.Packet {
 func (s *Server) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped bool) {
 	switch t.Kind {
 	case ToNode:
-		n := pr.nodes[t.Node]
-		for !n.rx.Enqueue(pkt) {
-			runtime.Gosched() // ring full: backpressure
-		}
-		n.ringHW.SetMax(int64(n.rx.Len()))
+		var one [1]*packet.Packet
+		one[0] = pkt
+		s.ringPush(pr, pr.nodes[t.Node], one[:])
 	case ToJoin:
 		// Merger agent (§5.3): hash the immutable PID to pick the
 		// merger instance, so all copies of one packet meet at the
@@ -533,6 +612,17 @@ type Stats struct {
 	Injected uint64
 	Outputs  uint64
 	Drops    uint64
+	// Sheds counts packet REFERENCES lost to the ring backpressure
+	// policy (drop-tail / shed-lowest-priority). Every shed rides the
+	// drop route, so Injected == Outputs + Drops still holds; but in a
+	// parallel stage each branch tail of one packet can shed
+	// independently, so Sheds may exceed the terminal Drops it causes.
+	// On join-free graphs Sheds <= Drops.
+	Sheds uint64
+	// Panics and Restarts count NF crashes caught at the runtime crash
+	// boundary and supervisor-performed instance replacements.
+	Panics   uint64
+	Restarts uint64
 	// Copies and CopiedBytes quantify the §6.3.1 resource overhead.
 	Copies      uint64
 	CopiedBytes uint64
@@ -549,10 +639,17 @@ func (s *Server) Stats() Stats {
 		Injected:    s.injected.Value(),
 		Outputs:     s.outCount.Value(),
 		Drops:       s.drops.Value(),
+		Sheds:       s.sheds.Value(),
 		Copies:      s.copies.Value(),
 		CopiedBytes: s.copiedB.Value(),
 		MergeErrors: s.mergeErrs.Value(),
 		Pool:        s.pool.Stats(),
+	}
+	for _, pr := range *s.plans.Load() {
+		for _, n := range pr.nodes {
+			st.Panics += n.panics.Value()
+			st.Restarts += n.restarts.Value()
+		}
 	}
 	for _, m := range s.mergers {
 		st.MergerLoad = append(st.MergerLoad, m.processed.Value())
@@ -577,7 +674,7 @@ func (s *Server) NodeRuntime(mid uint32, node graph.NF) (nf.NF, bool) {
 	}
 	for _, n := range pr.nodes {
 		if n.plan.NF == node {
-			return n.inst, true
+			return n.inst(), true
 		}
 	}
 	return nil, false

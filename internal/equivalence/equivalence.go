@@ -311,6 +311,102 @@ func (t *Trial) ExecuteBurst(g graph.Node, n int, trafficSeed int64, burst int) 
 	return res, nil
 }
 
+// OverloadSpec shapes an ExecuteOverload run: an intentionally
+// undersized ring plus a backpressure policy, so the injection pressure
+// exceeds what the graph drains and the overload machinery engages.
+type OverloadSpec struct {
+	RingSize  int
+	Policy    dataplane.BackpressurePolicy
+	SpinLimit int
+	Burst     int
+}
+
+// ExecuteOverload replays n deterministic packets through g with the
+// ring sized to overload, interleaving scalar Inject and batched
+// InjectBatch calls in a seed-determined random order (batch sizes
+// drawn from [1, Burst]). It returns the run observations plus the
+// server's stats snapshot so callers can check the overload
+// conservation law: Injected == Outputs + Drops exactly, with sheds
+// accounted inside Drops.
+func (t *Trial) ExecuteOverload(g graph.Node, n int, trafficSeed int64, spec OverloadSpec) (*RunResult, dataplane.Stats, error) {
+	instances := map[graph.NF]nf.NF{}
+	syns := map[string]*SynNF{}
+	for name, prof := range t.Profiles {
+		s := NewSynNF(name, prof)
+		syns[name] = s
+		instances[graph.NF{Name: name}] = s
+	}
+	srv := dataplane.New(dataplane.Config{
+		PoolSize: 512, Mergers: 2,
+		Burst:      spec.Burst,
+		RingSize:   spec.RingSize,
+		RingPolicy: spec.Policy,
+		SpinLimit:  spec.SpinLimit,
+	})
+	if err := srv.AddGraphInstances(1, g, instances); err != nil {
+		return nil, dataplane.Stats{}, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, dataplane.Stats{}, err
+	}
+	res := &RunResult{Outputs: map[uint64][]byte{}, Digests: map[string]uint64{}}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p := range srv.Output() {
+			res.Outputs[p.Meta.PID] = append([]byte(nil), p.Bytes()...)
+			p.Free()
+		}
+	}()
+	rng := rand.New(rand.NewSource(trafficSeed))
+	burst := spec.Burst
+	if burst < 1 {
+		burst = 1
+	}
+	batch := make([]*packet.Packet, burst)
+	for i := 0; i < n; {
+		if burst == 1 || rng.Intn(2) == 0 {
+			pkt := srv.Pool().Get()
+			for pkt == nil {
+				pkt = srv.Pool().Get()
+			}
+			buildRandomPacket(pkt, rng)
+			if !srv.Inject(pkt) {
+				return nil, dataplane.Stats{}, fmt.Errorf("classification failed")
+			}
+			i++
+			continue
+		}
+		want := 1 + rng.Intn(burst)
+		if n-i < want {
+			want = n - i
+		}
+		got := srv.Pool().AllocBatch(batch[:want])
+		for got == 0 {
+			got = srv.Pool().AllocBatch(batch[:want])
+		}
+		for j := 0; j < got; j++ {
+			buildRandomPacket(batch[j], rng)
+		}
+		if acc := srv.InjectBatch(batch[:got]); acc != got {
+			return nil, dataplane.Stats{}, fmt.Errorf("batch classification failed: %d of %d", acc, got)
+		}
+		i += got
+	}
+	srv.Stop()
+	<-done
+	st := srv.Stats()
+	res.Drops = st.Drops
+	res.Copies = st.Copies
+	for name, s := range syns {
+		res.Digests[name] = s.Digest()
+	}
+	if leak := srv.Pool().InUse(); leak != 0 {
+		return nil, st, fmt.Errorf("pool leak after drained stop: %d buffers", leak)
+	}
+	return res, st, nil
+}
+
 // buildRandomPacket fills pkt with a deterministic random TCP packet.
 func buildRandomPacket(pkt *packet.Packet, rng *rand.Rand) {
 	payload := make([]byte, 16+rng.Intn(128))

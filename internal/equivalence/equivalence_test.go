@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"testing"
 
+	"nfp/internal/dataplane"
 	"nfp/internal/graph"
 	"nfp/internal/nfa"
 	"nfp/internal/packet"
@@ -49,6 +50,66 @@ func TestRandomizedEquivalence(t *testing.T) {
 	// property is vacuous.
 	if parallelized < trials/4 {
 		t.Errorf("only %d/%d trials parallelized anything; generator too conservative", parallelized, trials)
+	}
+}
+
+// TestOverloadConservationProperty extends the differential harness to
+// overload: random chains of random synthetic NFs run against an
+// 8-slot ring under the drop-tail policy, injected through a random
+// interleaving of scalar Inject and batched InjectBatch calls. However
+// the overload machinery sheds, the conservation law must hold exactly
+// — Injected == Outputs + Drops, sheds never exceed drops, and not one
+// buffer leaks (ExecuteOverload fails the run on a leak). Both the
+// scalar and the burst dataplane are held to it, on the sequential and
+// the parallelized compilation.
+func TestOverloadConservationProperty(t *testing.T) {
+	trials := 12
+	packets := 400
+	if testing.Short() {
+		trials = 4
+		packets = 150
+	}
+	rng := rand.New(rand.NewSource(20260806))
+	shedding := 0
+	for i := 0; i < trials; i++ {
+		trial, err := NewTrial(rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		for _, burst := range []int{1, 32} {
+			for gi, g := range []graph.Node{trial.SeqGraph, trial.ParGraph} {
+				_, st, err := trial.ExecuteOverload(g, packets, int64(4000+i), OverloadSpec{
+					RingSize: 8, Policy: dataplane.BPDropTail, Burst: burst,
+				})
+				if err != nil {
+					t.Fatalf("trial %d burst %d graph %d: %v", i, burst, gi, err)
+				}
+				if st.Injected != uint64(packets) {
+					t.Fatalf("trial %d burst %d graph %d: injected %d of %d",
+						i, burst, gi, st.Injected, packets)
+				}
+				if st.Outputs+st.Drops != st.Injected {
+					t.Errorf("trial %d burst %d graph %d: conservation broken: injected=%d outputs=%d drops=%d sheds=%d",
+						i, burst, gi, st.Injected, st.Outputs, st.Drops, st.Sheds)
+				}
+				// Sheds count shed references; in a parallel graph each
+				// branch tail of one packet can shed independently, so
+				// the per-packet bound only holds on the join-free
+				// sequential compilation.
+				if gi == 0 && st.Sheds > st.Drops {
+					t.Errorf("trial %d burst %d seq graph: sheds=%d exceed drops=%d",
+						i, burst, st.Sheds, st.Drops)
+				}
+				if st.Sheds > 0 {
+					shedding++
+				}
+			}
+		}
+	}
+	// The rings must actually overflow in a decent share of runs, or
+	// the property is vacuous.
+	if shedding == 0 {
+		t.Error("no run shed anything; overload generator too weak")
 	}
 }
 

@@ -24,12 +24,17 @@ import (
 // LiveResult summarizes one live dataplane run.
 type LiveResult struct {
 	Outputs, Drops uint64
-	Copies         uint64
-	CopiedBytes    uint64
-	MeanLatencyUS  float64
-	Mpps           float64
-	MergerLoad     []uint64
-	OutputsByPID   map[uint64][]byte // PID → final wire bytes (small runs only)
+	// Sheds counts packets lost to the ring backpressure policy;
+	// Panics/Restarts count NF crashes and supervisor recoveries.
+	Sheds         uint64
+	Panics        uint64
+	Restarts      uint64
+	Copies        uint64
+	CopiedBytes   uint64
+	MeanLatencyUS float64
+	Mpps          float64
+	MergerLoad    []uint64
+	OutputsByPID  map[uint64][]byte // PID → final wire bytes (small runs only)
 	// PoolLeak is the mempool's in-use gauge after the drained stop —
 	// any non-zero value is a buffer leak.
 	PoolLeak int
@@ -65,6 +70,18 @@ type LiveOptions struct {
 	// path. Burst > 1 also switches injection to the batched
 	// AllocBatch/InjectBatch path.
 	Burst int
+	// RingPolicy selects the receive-ring backpressure policy (see
+	// dataplane.Config.RingPolicy); the zero value is lossless block.
+	RingPolicy dataplane.BackpressurePolicy
+	// SpinLimit bounds the producer spin budget before parking or
+	// shedding (0 picks dataplane.DefaultSpinLimit).
+	SpinLimit int
+	// NodePriority ranks NFs for the shed-lowest-priority policy,
+	// normally policy.Policy.PriorityRanks() of the policy in force.
+	NodePriority map[string]int
+	// RingSize overrides the per-NF receive ring capacity (0 keeps the
+	// dataplane default); small rings surface overload sooner.
+	RingSize int
 }
 
 // LiveRegistry, when non-nil, supplies NF factories to the live runs
@@ -101,6 +118,10 @@ func RunLiveGraphOpts(g graph.Node, n int, gen *trafficgen.Generator, opts LiveO
 		Telemetry:       opts.Telemetry,
 		TraceSampleRate: opts.TraceSampleRate,
 		Burst:           opts.Burst,
+		RingPolicy:      opts.RingPolicy,
+		SpinLimit:       opts.SpinLimit,
+		NodePriority:    opts.NodePriority,
+		RingSize:        opts.RingSize,
 	})
 	if err := srv.AddGraph(1, g); err != nil {
 		return LiveResult{}, err
@@ -181,6 +202,9 @@ func RunLiveGraphOpts(g graph.Node, n int, gen *trafficgen.Generator, opts LiveO
 	st := srv.Stats()
 	res.Outputs = st.Outputs
 	res.Drops = st.Drops
+	res.Sheds = st.Sheds
+	res.Panics = st.Panics
+	res.Restarts = st.Restarts
 	res.Copies = st.Copies
 	res.CopiedBytes = st.CopiedBytes
 	res.MergerLoad = st.MergerLoad

@@ -1,0 +1,135 @@
+package faultinject
+
+import (
+	"net/netip"
+	"testing"
+
+	"nfp/internal/mempool"
+	"nfp/internal/nf"
+	"nfp/internal/packet"
+)
+
+func testPacket(t *testing.T) *packet.Packet {
+	t.Helper()
+	pkt := &packet.Packet{}
+	pkt.Attach(make([]byte, 256), 0, nil)
+	packet.BuildInto(pkt, packet.BuildSpec{
+		SrcIP: netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+		DstIP: netip.AddrFrom4([4]byte{10, 0, 0, 2}),
+		Proto: packet.ProtoUDP, SrcPort: 1000, DstPort: 2000, Size: 64,
+	})
+	return pkt
+}
+
+func TestPanicNFSchedule(t *testing.T) {
+	inner := nf.NewMonitor()
+	p := NewPanicNF(inner, 2, 3)
+	pkt := testPacket(t)
+
+	if v := p.Process(pkt); v != nf.Pass {
+		t.Fatalf("call 1: got %v, want pass", v)
+	}
+	for call := 2; call <= 3; call++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("call %d: expected panic", call)
+				}
+			}()
+			p.Process(pkt)
+		}()
+	}
+	if v := p.Process(pkt); v != nf.Pass {
+		t.Fatalf("call 4: got %v, want pass", v)
+	}
+	if got := p.Panicked(); got != 2 {
+		t.Fatalf("Panicked() = %d, want 2", got)
+	}
+	if got := p.Calls(); got != 4 {
+		t.Fatalf("Calls() = %d, want 4", got)
+	}
+	if p.Name() != inner.Name() {
+		t.Fatalf("Name() = %q, want %q", p.Name(), inner.Name())
+	}
+}
+
+func TestStallNFGate(t *testing.T) {
+	s := NewStallNF(nf.NewMonitor())
+	pkt := testPacket(t)
+
+	// Released: passes through.
+	if v := s.Process(pkt); v != nf.Pass {
+		t.Fatalf("released Process: got %v, want pass", v)
+	}
+
+	s.Stall()
+	done := make(chan nf.Verdict, 1)
+	go func() { done <- s.Process(pkt) }()
+
+	// The call must park on the gate, not return.
+	for s.Stalled() == 0 {
+	}
+	select {
+	case <-done:
+		t.Fatal("Process returned while stalled")
+	default:
+	}
+
+	s.Release()
+	if v := <-done; v != nf.Pass {
+		t.Fatalf("post-release verdict: got %v, want pass", v)
+	}
+	if s.Stalled() != 0 {
+		t.Fatalf("Stalled() = %d after release, want 0", s.Stalled())
+	}
+	// Release is idempotent; a released wrapper passes through again.
+	s.Release()
+	if v := s.Process(pkt); v != nf.Pass {
+		t.Fatalf("re-released Process: got %v, want pass", v)
+	}
+}
+
+func TestAllocScheduleFailsExactBatches(t *testing.T) {
+	pool := mempool.New(8, 256)
+	sched := NewAllocSchedule(2)
+	pool.SetFaultHook(sched.Hook)
+
+	p1 := pool.Get()
+	if p1 == nil {
+		t.Fatal("batch 1 should succeed")
+	}
+	if pool.Get() != nil {
+		t.Fatal("batch 2 should fail by schedule")
+	}
+	p3 := pool.Get()
+	if p3 == nil {
+		t.Fatal("batch 3 should succeed")
+	}
+	if sched.Failed() != 1 || sched.Batches() != 3 {
+		t.Fatalf("schedule saw batches=%d failed=%d, want 3/1", sched.Batches(), sched.Failed())
+	}
+	pool.SetFaultHook(nil)
+	p1.Free()
+	p3.Free()
+	if pool.InUse() != 0 {
+		t.Fatalf("pool leak: %d in use", pool.InUse())
+	}
+}
+
+func TestPoolHog(t *testing.T) {
+	pool := mempool.New(4, 256)
+	hog := NewPoolHog(pool)
+	if got := hog.Grab(10); got != 4 {
+		t.Fatalf("Grab(10) = %d, want 4 (pool capacity)", got)
+	}
+	if pool.Get() != nil {
+		t.Fatal("pool should be exhausted while hogged")
+	}
+	hog.ReleaseAll()
+	if hog.Held() != 0 {
+		t.Fatalf("Held() = %d after release", hog.Held())
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("pool leak: %d in use", pool.InUse())
+	}
+}

@@ -23,6 +23,11 @@ type Pool struct {
 
 	mu   sync.Mutex
 	free []*packet.Packet
+	// faultHook, when set, is consulted before every allocation batch;
+	// returning false fails the allocation as if the pool were
+	// exhausted. Installed by the fault-injection layer to test
+	// allocation-failure paths deterministically.
+	faultHook func(want int) bool
 
 	// The pool owns its metrics (so standalone pools still count) and
 	// attaches them to a server's registry via MustRegister.
@@ -107,6 +112,11 @@ func (p *Pool) allocBatch(out []*packet.Packet, honorReserve bool) int {
 		return 0
 	}
 	p.mu.Lock()
+	if p.faultHook != nil && !p.faultHook(len(out)) {
+		p.mu.Unlock()
+		p.failures.Add(1)
+		return 0
+	}
 	avail := len(p.free)
 	if honorReserve {
 		avail -= p.reserve
@@ -147,6 +157,17 @@ func (p *Pool) allocBatch(out []*packet.Packet, honorReserve bool) int {
 		pkt.Invalidate()
 	}
 	return n
+}
+
+// SetFaultHook installs (or clears, with nil) a hook consulted before
+// every allocation batch; returning false fails the whole batch as a
+// pool-exhaustion event. The fault-injection layer uses it to fail
+// allocations on a deterministic schedule; production code never sets
+// it, so the fast path pays only a nil check under the existing lock.
+func (p *Pool) SetFaultHook(fn func(want int) bool) {
+	p.mu.Lock()
+	p.faultHook = fn
+	p.mu.Unlock()
 }
 
 // FreeBatch returns a batch of packets to the pool under a single lock
