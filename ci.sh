@@ -10,7 +10,23 @@
 #   ./ci.sh fuzz   — the non-blocking fuzz smoke: each native fuzz
 #                    target gets a short -fuzztime budget (override with
 #                    FUZZ_TIME) on top of its checked-in seed corpus.
+#   ./ci.sh trace  — the non-blocking span-tooling smoke: builds
+#                    nfpinspect and runs the trace and criticalpath
+#                    subcommands against an in-process chain, including
+#                    a Chrome trace export (schema is gated by the
+#                    golden test in the blocking job).
 set -eux
+
+if [ "${1:-}" = "trace" ]; then
+    bin="$(mktemp -d)"
+    trap 'rm -rf "$bin"' EXIT
+    go build -o "$bin/nfpinspect" ./cmd/nfpinspect
+    "$bin/nfpinspect" trace -chain ids,monitor,lb -packets 500 -max 3
+    "$bin/nfpinspect" trace -chain ids,monitor,lb -packets 500 -chrome "$bin/trace.json" -max 0 >/dev/null
+    test -s "$bin/trace.json"
+    "$bin/nfpinspect" criticalpath -chain ids,monitor,lb -packets 500
+    exit 0
+fi
 
 if [ "${1:-}" = "fuzz" ]; then
     ft="${FUZZ_TIME:-10s}"

@@ -61,6 +61,7 @@ func run() int {
 	noParallel := flag.Bool("no-parallel", false, "compile sequentially (NFP compatibility mode)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics and /debug/telemetry on this address (keeps serving after the run until interrupted)")
 	traceSample := flag.Int("trace-sample", 0, "trace ~1/N packets hop-by-hop (0 = off; rounded down to a power of two)")
+	traceBuf := flag.Int("trace-buf", 0, "tracer span ring capacity in events (0 = default 4096)")
 	withPprof := flag.Bool("pprof", false, "also mount /debug/pprof on the telemetry address")
 	burst := flag.Int("burst", dataplane.DefaultBurst,
 		"dataplane burst size: packets moved per ring operation (1 = scalar compatibility mode)")
@@ -137,6 +138,7 @@ func run() int {
 	}
 	opts := experiments.LiveOptions{
 		TraceSampleRate: *traceSample,
+		TraceCapacity:   *traceBuf,
 		Burst:           *burst,
 		RingPolicy:      bpPolicy,
 		SpinLimit:       *spinLimit,
@@ -174,7 +176,7 @@ func run() int {
 			if err != nil {
 				fail(err)
 			}
-			fmt.Printf("telemetry:         http://%s/metrics (and /debug/telemetry)\n", bound)
+			fmt.Printf("telemetry:         http://%s/metrics (and /debug/telemetry, /debug/spans, /debug/criticalpath)\n", bound)
 		}
 	}
 	live, err := experiments.RunLiveGraphOpts(res.Graph, *packets, gen, opts)

@@ -9,6 +9,9 @@
 //	nfpinspect -name lb -diff internal/nf/lb.go
 //	nfpinspect metrics -addr localhost:9090
 //	nfpinspect metrics -chain ids,monitor,lb -packets 2000 -trace-sample 64
+//	nfpinspect trace -chain ids,monitor,lb -packets 500
+//	nfpinspect trace -addr localhost:9090 -chrome trace.json
+//	nfpinspect criticalpath -chain ids,monitor,lb -packets 2000
 package main
 
 import (
@@ -21,9 +24,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "metrics" {
-		metricsCmd(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "metrics":
+			metricsCmd(os.Args[2:])
+			return
+		case "trace":
+			traceCmd(os.Args[2:])
+			return
+		case "criticalpath":
+			criticalPathCmd(os.Args[2:])
+			return
+		}
 	}
 	name := flag.String("name", "", "NF type name for the generated profile")
 	diff := flag.Bool("diff", false, "compare against the declared catalog profile")

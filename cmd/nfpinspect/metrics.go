@@ -35,7 +35,7 @@ func metricsCmd(args []string) {
 	case *addr != "":
 		dump = fetchDump(*addr)
 	case *chain != "":
-		dump = runDump(*chain, *packets, *seed, *traceSample)
+		dump = runDump(*chain, *packets, *seed, *traceSample, 0)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: nfpinspect metrics (-addr HOST:PORT | -chain nf1,nf2,...) [-json]")
 		os.Exit(2)
@@ -72,7 +72,7 @@ func fetchDump(addr string) telemetry.Dump {
 	return dump
 }
 
-func runDump(chain string, packets int, seed int64, traceSample int) telemetry.Dump {
+func runDump(chain string, packets int, seed int64, traceSample, traceBuf int) telemetry.Dump {
 	names := strings.Split(chain, ",")
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
@@ -83,7 +83,7 @@ func runDump(chain string, packets int, seed int64, traceSample int) telemetry.D
 	}
 	gen := trafficgen.New(trafficgen.Config{Flows: 32, Seed: seed})
 	live, err := experiments.RunLiveGraphOpts(res.Graph, packets, gen,
-		experiments.LiveOptions{TraceSampleRate: traceSample})
+		experiments.LiveOptions{TraceSampleRate: traceSample, TraceCapacity: traceBuf})
 	if err != nil {
 		metricsFail(err)
 	}

@@ -67,7 +67,20 @@ const DefaultSpinLimit = 256
 // indistinguishable from the NF itself dropping the packet, which is
 // precisely the §5.2 "ignore" semantics). Partial batch accepts count
 // sheds per packet, never per burst.
-func (s *Server) ringPush(pr *planRuntime, n *nodeRT, pkts []*packet.Packet) {
+//
+// cursor is the producer's span-chain position; sampled deliveries
+// stash it (keyed per (pid, version, node) so shared-group branches of
+// one packet never collide) BEFORE the enqueue, so the consumer — who
+// may dequeue instantly — always finds it and closes the ring-wait
+// span against it.
+func (s *Server) ringPush(pr *planRuntime, n *nodeRT, pkts []*packet.Packet, cursor int64) {
+	if tr := s.tracer; tr != nil {
+		for _, pkt := range pkts {
+			if tr.Sampled(pkt.Meta.PID) {
+				tr.StashCursor(pkt.Meta.PID, pkt.Meta.Version, n.plan.ID, cursor)
+			}
+		}
+	}
 	rem := pkts
 	if k := n.rx.EnqueueBatch(rem); k > 0 { // fast path: no waiter state
 		rem = rem[k:]
@@ -107,6 +120,13 @@ func (s *Server) shedBurst(pr *planRuntime, n *nodeRT, pkts []*packet.Packet) {
 	n.sheds.Add(uint64(len(pkts)))
 	s.sheds.Add(uint64(len(pkts)))
 	for _, pkt := range pkts {
-		s.deliverDrop(pr, n.plan.DropTo, pkt)
+		// A shed packet never reaches the consumer, so reclaim its
+		// stashed span cursor here: the drop route continues the chain
+		// from where the producer left off.
+		var cursor int64
+		if s.tracer.Sampled(pkt.Meta.PID) {
+			cursor = s.tracer.TakeCursor(pkt.Meta.PID, pkt.Meta.Version, n.plan.ID)
+		}
+		s.deliverDrop(pr, n.plan.DropTo, pkt, cursor)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"nfp/internal/graph"
 	"nfp/internal/nf"
 	"nfp/internal/nfa"
+	"nfp/internal/telemetry"
 )
 
 // chaosCollector drains a server's output channel from a goroutine and
@@ -328,5 +329,90 @@ func TestChaosPoolExhaustion(t *testing.T) {
 	}
 	if leak := s.Pool().InUse(); leak != 0 {
 		t.Fatalf("pool leak: %d buffers", leak)
+	}
+}
+
+// TestChaosSpanConservation checks the span model survives NF crash
+// recovery: with rate-1 tracing through a panic + supervisor restart,
+// every retained span still has a sane interval, and every packet's
+// trace — including the ones dropped by the crash window — decomposes
+// with exact bucket-sum equality.
+func TestChaosSpanConservation(t *testing.T) {
+	panicMon := faultinject.NewPanicNF(nf.NewMonitor(), 10)
+	fwd, _ := nf.NewL3Forwarder(100)
+	g := graph.Seq{Items: []graph.Node{nfn(nfa.NFMonitor, 0), nfn(nfa.NFL3Fwd, 0)}}
+	s := New(Config{PoolSize: 256, Burst: 32, TraceSampleRate: 1, TraceCapacity: 1 << 16})
+	if err := s.AddGraphInstances(1, g, map[graph.NF]nf.NF{
+		nfn(nfa.NFMonitor, 0): panicMon,
+		nfn(nfa.NFL3Fwd, 0):   fwd,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	col := collectOutputs(s)
+
+	const wave = 200
+	inject := func(n int) {
+		for i := 0; i < n; i++ {
+			pkt := buildInto(t, s, spec(byte(i%7), uint16(7000+i%7), "span-chaos"))
+			if !s.Inject(pkt) {
+				t.Fatal("classification failed")
+			}
+		}
+	}
+	inject(wave)
+	for limit := time.Now().Add(2 * time.Second); panicMon.Panicked() == 0; {
+		if time.Now().After(limit) {
+			t.Fatalf("panicked = %d, want 1", panicMon.Panicked())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	waitHealthy(t, s, 1, 2*time.Second)
+	inject(wave)
+	s.Stop()
+	col.wait()
+
+	st := s.Stats()
+	if st.Panics != 1 {
+		t.Fatalf("panics = %d, want 1", st.Panics)
+	}
+
+	// Interval sanity on the raw ring: no span may end before it began,
+	// crash recovery included.
+	events := s.Tracer().Events()
+	for _, ev := range events {
+		if ev.Begin > ev.TS {
+			t.Fatalf("span with negative duration: %+v", ev)
+		}
+	}
+
+	// Span conservation: every injected packet's trace is retained
+	// (64Ki ring, rate 1) and decomposes exactly — outputs and crash
+	// drops alike end in a terminal span with buckets tiling e2e.
+	groups, truncated := s.Tracer().GroupByPID()
+	if truncated != 0 {
+		t.Fatalf("ring evicted %d traces despite 64Ki capacity", truncated)
+	}
+	if uint64(len(groups)) != st.Injected {
+		t.Fatalf("decomposable traces = %d, want %d (one per injected packet)", len(groups), st.Injected)
+	}
+	var terminalDrops uint64
+	for pid, spans := range groups {
+		at, ok := telemetry.Decompose(spans)
+		if !ok {
+			t.Fatalf("pid %d: trace did not decompose across crash recovery: %d spans", pid, len(spans))
+		}
+		sum := at.Classify + at.RingWait + at.Service + at.MergeWait + at.Merge + at.Output
+		if sum != at.E2E {
+			t.Errorf("pid %d: buckets sum %d != e2e %d: %+v", pid, sum, at.E2E, at)
+		}
+		if spans[len(spans)-1].Stage == telemetry.StageDrop {
+			terminalDrops++
+		}
+	}
+	if terminalDrops != st.Drops {
+		t.Errorf("drop-terminated traces = %d, drop counter = %d", terminalDrops, st.Drops)
 	}
 }

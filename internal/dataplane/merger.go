@@ -18,6 +18,10 @@ type mergeItem struct {
 	mid     uint32
 	join    int
 	dropped bool
+	// cursor is the tail's span-chain position at delivery (end
+	// timestamp of its last span; 0 when the packet is unsampled), the
+	// begin of its merge-wait span.
+	cursor int64
 }
 
 // atKey identifies one packet at one join — the Accumulating Table key.
@@ -27,15 +31,27 @@ type atKey struct {
 	pid  uint64
 }
 
+// mergeTail is one sampled branch tail awaiting its join: the version
+// that arrived and its span cursor, closed as a merge-wait span when
+// the join finalizes.
+type mergeTail struct {
+	ver    uint8
+	cursor int64
+}
+
 // atEntry accumulates the copies of one packet (§5.3, Figure 4: current
 // count and received versions).
 type atEntry struct {
+	pid      uint64
 	count    int
 	versions [packet.MaxVersion + 1]*packet.Packet
 	dropped  bool
 	// firstNS is when the first tail arrived; finalize−firstNS is the
 	// merge latency (how long copies waited in the Accumulating Table).
 	firstNS int64
+	// tails holds the arrival cursor of every sampled branch tail
+	// (empty when the packet is unsampled).
+	tails []mergeTail
 }
 
 // merger is one merger instance. The paper implements mergers as NFs so
@@ -116,13 +132,16 @@ func (m *merger) handle(item mergeItem) {
 	key := atKey{mid: item.mid, join: item.join, pid: item.pkt.Meta.PID}
 	e := m.at[key]
 	if e == nil {
-		e = &atEntry{firstNS: time.Now().UnixNano()}
+		e = &atEntry{pid: key.pid, firstNS: time.Now().UnixNano()}
 		m.at[key] = e
 	}
 	e.count++
 	e.versions[item.pkt.Meta.Version] = item.pkt
 	if item.dropped {
 		e.dropped = true
+	}
+	if m.server.tracer.Sampled(key.pid) {
+		e.tails = append(e.tails, mergeTail{ver: item.pkt.Meta.Version, cursor: item.cursor})
 	}
 
 	spec := m.server.joinSpec(item.mid, item.join)
@@ -142,12 +161,20 @@ func (m *merger) finalize(mid uint32, spec JoinSpec, e *atEntry) {
 	pr := m.server.planRT(mid)
 	base := e.versions[spec.BaseVersion]
 
-	if tr := m.server.tracer; tr != nil {
-		for _, pkt := range e.versions {
-			if pkt != nil && tr.Sampled(pkt.Meta.PID) {
-				tr.Record(pkt.Meta.PID, mid, telemetry.StageMerge, m.name, time.Now().UnixNano())
-				break
-			}
+	// Close every sampled tail's merge-wait span against one shared
+	// finalize timestamp: each branch's wait in the Accumulating Table
+	// is visible individually, and the shared end timestamp is where
+	// the surviving base chain resumes — so the base chain still tiles
+	// exactly (its own merge-wait ends where the merge span begins).
+	var cursor int64
+	if tr := m.server.tracer; tr != nil && len(e.tails) > 0 {
+		cursor = time.Now().UnixNano()
+		for _, tl := range e.tails {
+			tr.RecordSpan(telemetry.TraceEvent{
+				PID: e.pid, MID: mid, Ver: tl.ver,
+				Stage: telemetry.StageMergeWait, Name: m.name,
+				Join: spec.ID + 1, Begin: tl.cursor, TS: cursor,
+			})
 		}
 	}
 
@@ -164,10 +191,11 @@ func (m *merger) finalize(mid uint32, spec JoinSpec, e *atEntry) {
 			// The base never arrived (its own branch dropped it and the
 			// buffer came through as a dropped item under the base
 			// version — or the entry is inconsistent). Synthesize a nil
-			// carrier for propagation.
-			base = packet.NewNil(packet.Meta{MID: mid, Version: spec.BaseVersion})
+			// carrier for propagation, keeping the PID so trace spans of
+			// the drop stay attributed to the packet.
+			base = packet.NewNil(packet.Meta{MID: mid, PID: e.pid, Version: spec.BaseVersion})
 		}
-		m.server.deliverDrop(pr, spec.DropTo, base)
+		m.server.deliverDrop(pr, spec.DropTo, base, cursor)
 		return
 	}
 
@@ -201,7 +229,18 @@ func (m *merger) finalize(mid uint32, spec JoinSpec, e *atEntry) {
 		}
 	}
 	m.merged.Add(1)
-	m.server.exec(pr, spec.Next, base)
+	if cursor != 0 {
+		// The merge span covers applying the merging operations; its
+		// end is the base chain's ongoing cursor.
+		now := time.Now().UnixNano()
+		m.server.tracer.RecordSpan(telemetry.TraceEvent{
+			PID: e.pid, MID: mid, Ver: base.Meta.Version,
+			Stage: telemetry.StageMerge, Name: m.name,
+			Join: spec.ID + 1, Begin: cursor, TS: now,
+		})
+		cursor = now
+	}
+	m.server.exec(pr, spec.Next, base, cursor)
 }
 
 // applyMergeOp applies one §5.3 merging operation to the base packet.

@@ -99,8 +99,10 @@ func (n *nodeRT) run() {
 			// Crashed and not yet restarted: keep the graph draining by
 			// dropping arrivals through the normal drop route (buffers
 			// return to the pool, joins complete, accounting balances).
+			// The drained packets never reached the NF, so their span
+			// chains close with a ring-wait span into the drop route.
 			n.pktsIn.Add(uint64(cnt))
-			n.dropBurst(n.burst[:cnt], n.unhealthyDry)
+			n.dropBurst(n.burst[:cnt], n.unhealthyDry, telemetry.StageRingWait, 0)
 			continue
 		}
 		n.processBurst(n.burst[:cnt])
@@ -145,11 +147,33 @@ func (n *nodeRT) onPanic(cause any) {
 // dropBurst routes every packet of a burst through the node's drop
 // target, charging cause (panic or unhealthy-drain) and the node's
 // drop counter so per-NF conservation (in == out + drops) still holds.
-func (n *nodeRT) dropBurst(pkts []*packet.Packet, cause *telemetry.Counter) {
+//
+// Sampled packets get a closing span so conservation also holds for
+// traces: stage says how far they got (ring-wait for unhealthy drains
+// whose cursor is still stashed — cursor 0 — or nf for a panicked
+// burst, whose ring-wait spans were already recorded against cursor,
+// the dequeue timestamp).
+func (n *nodeRT) dropBurst(pkts []*packet.Packet, cause *telemetry.Counter, stage telemetry.Stage, cursor int64) {
 	cause.Add(uint64(len(pkts)))
 	n.drops.Add(uint64(len(pkts)))
+	tracer := n.server.tracer
+	var now int64
 	for _, pkt := range pkts {
-		n.server.deliverDrop(n.pr, n.plan.DropTo, pkt)
+		c := cursor
+		if tracer.Sampled(pkt.Meta.PID) {
+			if now == 0 {
+				now = time.Now().UnixNano()
+			}
+			if c == 0 {
+				c = tracer.TakeCursor(pkt.Meta.PID, pkt.Meta.Version, n.plan.ID)
+			}
+			tracer.RecordSpan(telemetry.TraceEvent{
+				PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
+				Stage: stage, Name: n.plan.NF.String(), Begin: c, TS: now,
+			})
+			c = now
+		}
+		n.server.deliverDrop(n.pr, n.plan.DropTo, pkt, c)
 	}
 }
 
@@ -182,34 +206,80 @@ func (n *nodeRT) maybeRestart(now int64) {
 // With burst=1 this degenerates to exactly the scalar per-packet path:
 // every counter, histogram sample and trace event lands with the same
 // cardinality and values as the pre-burst dataplane.
+// ringWaitSpans closes the ring-wait span of every sampled packet in
+// the burst against one amortized dequeue timestamp (the return
+// value): begin comes from the cursor the producer stashed at enqueue,
+// so the span covers exactly the time the reference sat in the ring.
+// Returns 0 — and reads no clock — when the burst has no sampled
+// packet. Kept out of processBurst so the traced-path work never
+// bloats the hot loop's code.
+func (n *nodeRT) ringWaitSpans(tracer *telemetry.Tracer, pkts []*packet.Packet) int64 {
+	var t1 int64
+	for _, pkt := range pkts {
+		if tracer.Sampled(pkt.Meta.PID) {
+			if t1 == 0 {
+				t1 = time.Now().UnixNano()
+			}
+			tracer.RecordSpan(telemetry.TraceEvent{
+				PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
+				Stage: telemetry.StageRingWait, Name: n.plan.NF.String(),
+				Begin: tracer.TakeCursor(pkt.Meta.PID, pkt.Meta.Version, n.plan.ID),
+				TS:    t1,
+			})
+		}
+	}
+	return t1
+}
+
+// nfSpan records one packet's NF service span against the burst's
+// amortized invoke interval. Out of line for the same hot-loop code
+// size reason as ringWaitSpans.
+func (n *nodeRT) nfSpan(tracer *telemetry.Tracer, pkt *packet.Packet, t1, cursor int64) {
+	tracer.RecordSpan(telemetry.TraceEvent{
+		PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
+		Stage: telemetry.StageNF, Name: n.plan.NF.String(),
+		Begin: t1, TS: cursor,
+	})
+}
+
 func (n *nodeRT) processBurst(pkts []*packet.Packet) {
 	n.pktsIn.Add(uint64(len(pkts)))
+	tracer := n.server.tracer
+	var t1 int64
+	if tracer != nil {
+		t1 = n.ringWaitSpans(tracer, pkts)
+	}
 	start := time.Now()
 	if !n.invoke(pkts) {
 		// The NF panicked mid-burst: its verdicts (and any partial
 		// packet writes) are void. The burst is the failure unit — all
 		// its packets take the drop route back to the pool.
-		n.dropBurst(pkts, n.panicDrops)
+		n.dropBurst(pkts, n.panicDrops, telemetry.StageNF, t1)
 		return
 	}
 	// One amortized histogram sample: the mean per-packet service time
 	// of the burst (identical to the scalar sample when the burst is 1).
 	n.svcTime.Record(time.Since(start).Nanoseconds() / int64(len(pkts)))
 
-	tracer := n.server.tracer
+	// One amortized post-invoke timestamp closes the service span of
+	// every sampled packet in the burst and becomes their ongoing
+	// cursor.
+	var cursor int64
+	if t1 != 0 {
+		cursor = time.Now().UnixNano()
+	}
 	pass := n.passBuf[:0]
 	dropped := 0
 	for i, pkt := range pkts {
 		if tracer.Sampled(pkt.Meta.PID) {
-			tracer.Record(pkt.Meta.PID, pkt.Meta.MID, telemetry.StageNF,
-				n.plan.NF.String(), time.Now().UnixNano())
+			n.nfSpan(tracer, pkt, t1, cursor)
 		}
 		if n.verdicts[i] == nf.Drop {
 			dropped++
 			// §5.2 "ignore": skip the forwarding actions and convey the
 			// dropping intention (the packet reference rides along so the
 			// merger can release the buffer once all tails report).
-			n.server.deliverDrop(n.pr, n.plan.DropTo, pkt)
+			n.server.deliverDrop(n.pr, n.plan.DropTo, pkt, cursor)
 			continue
 		}
 		pass = append(pass, pkt)
@@ -219,6 +289,6 @@ func (n *nodeRT) processBurst(pkts []*packet.Packet) {
 	}
 	if len(pass) > 0 {
 		n.pktsOut.Add(uint64(len(pass)))
-		n.server.execBurst(n.pr, n.plan.Next, pass)
+		n.server.execBurst(n.pr, n.plan.Next, pass, cursor)
 	}
 }

@@ -170,6 +170,9 @@ func New(cfg Config) *Server {
 	}
 	s.tel = cfg.Telemetry
 	s.tracer = telemetry.NewTracer(cfg.TraceSampleRate, cfg.TraceCapacity)
+	if s.tracer != nil {
+		s.tracer.SetEvictedCounter(s.tel.Counter("nfp_trace_evicted_total"))
+	}
 	s.injected = s.tel.Counter("nfp_injected_total")
 	s.outCount = s.tel.Counter("nfp_outputs_total")
 	s.drops = s.tel.Counter("nfp_drops_total")
@@ -462,6 +465,22 @@ func (s *Server) InjectBatch(pkts []*packet.Packet) int {
 	return n
 }
 
+// classifySpan records the classify span of a sampled packet: it
+// begins at the source's Ingress stamp when one is set (and sane) so
+// ingress queueing is attributed, and ends at now — the cursor every
+// downstream span chains from.
+func (s *Server) classifySpan(pkt *packet.Packet, now int64) {
+	begin := pkt.Ingress
+	if begin <= 0 || begin > now {
+		begin = now
+	}
+	s.tracer.RecordSpan(telemetry.TraceEvent{
+		PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
+		Stage: telemetry.StageClassify, Name: "classifier",
+		Begin: begin, TS: now,
+	})
+}
+
 // injectBurst sends a burst of same-MID packets into their graph.
 func (s *Server) injectBurst(pr *planRuntime, pkts []*packet.Packet) {
 	now := time.Now().UnixNano()
@@ -470,12 +489,11 @@ func (s *Server) injectBurst(pr *planRuntime, pkts []*packet.Packet) {
 		// group only read the layout cache (see injectInto).
 		_ = pkt.Parse()
 		if s.tracer.Sampled(pkt.Meta.PID) {
-			s.tracer.Record(pkt.Meta.PID, pkt.Meta.MID, telemetry.StageClassify,
-				"classifier", now)
+			s.classifySpan(pkt, now)
 		}
 	}
 	s.injected.Add(uint64(len(pkts)))
-	s.execBurst(pr, pr.plan.Entry, pkts)
+	s.execBurst(pr, pr.plan.Entry, pkts, now)
 }
 
 func (s *Server) injectInto(pr *planRuntime, pkt *packet.Packet) bool {
@@ -484,20 +502,27 @@ func (s *Server) injectInto(pr *planRuntime, pkt *packet.Packet) bool {
 	// race between runtimes, even with identical values).
 	_ = pkt.Parse()
 	s.injected.Add(1)
+	var cursor int64
 	if s.tracer.Sampled(pkt.Meta.PID) {
-		s.tracer.Record(pkt.Meta.PID, pkt.Meta.MID, telemetry.StageClassify,
-			"classifier", time.Now().UnixNano())
+		cursor = time.Now().UnixNano()
+		s.classifySpan(pkt, cursor)
 	}
-	s.exec(pr, pr.plan.Entry, pkt)
+	s.exec(pr, pr.plan.Entry, pkt, cursor)
 	return true
 }
 
 // exec runs a forwarding-table dispatch list on a packet. The held map
 // collects the versions materialized so far, seeded with the incoming
-// packet under its own version.
-func (s *Server) exec(pr *planRuntime, ds []Dispatch, pkt *packet.Packet) {
+// packet under its own version. cursor is the span-chain position (end
+// timestamp of the packet's previous span; 0 when unsampled) — copies
+// fork their own chain off it, and every delivery carries its
+// version's cursor forward.
+func (s *Server) exec(pr *planRuntime, ds []Dispatch, pkt *packet.Packet, cursor int64) {
 	var held [packet.MaxVersion + 1]*packet.Packet
 	held[pkt.Meta.Version] = pkt
+	var curs [packet.MaxVersion + 1]int64
+	curs[pkt.Meta.Version] = cursor
+	sampled := s.tracer.Sampled(pkt.Meta.PID)
 	for _, d := range ds {
 		src := held[d.SrcVersion]
 		if src == nil {
@@ -513,11 +538,20 @@ func (s *Server) exec(pr *planRuntime, ds []Dispatch, pkt *packet.Packet) {
 			}
 			s.copies.Add(1)
 			s.copiedB.Add(uint64(cp.Len()))
+			if sampled {
+				now := time.Now().UnixNano()
+				s.tracer.RecordSpan(telemetry.TraceEvent{
+					PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: d.NewVersion,
+					Stage: telemetry.StageCopy, Name: "copy", SrcVer: d.SrcVersion,
+					Begin: curs[d.SrcVersion], TS: now,
+				})
+				curs[d.NewVersion] = now
+			}
 			held[d.NewVersion] = cp
 			out = cp
 		}
 		for _, t := range d.Targets {
-			s.deliver(pr, t, out, false)
+			s.deliver(pr, t, out, false, curs[out.Meta.Version])
 		}
 	}
 }
@@ -527,19 +561,21 @@ func (s *Server) exec(pr *planRuntime, ds []Dispatch, pkt *packet.Packet) {
 // delivered with one batched ring enqueue and one high-water sample;
 // everything else (copies, joins, multi-target fan-out) falls back to
 // the scalar executor per packet, which already handles every shape.
-func (s *Server) execBurst(pr *planRuntime, ds []Dispatch, pkts []*packet.Packet) {
+// cursor is shared by the whole burst: sampled packets of one burst
+// chain from the same amortized clock read.
+func (s *Server) execBurst(pr *planRuntime, ds []Dispatch, pkts []*packet.Packet, cursor int64) {
 	if len(pkts) == 1 {
-		s.exec(pr, ds, pkts[0])
+		s.exec(pr, ds, pkts[0], cursor)
 		return
 	}
 	if len(ds) == 1 && ds[0].NewVersion == 0 &&
 		len(ds[0].Targets) == 1 && ds[0].Targets[0].Kind == ToNode &&
 		len(pkts) > 0 && pkts[0].Meta.Version == ds[0].SrcVersion {
-		s.ringPush(pr, pr.nodes[ds[0].Targets[0].Node], pkts)
+		s.ringPush(pr, pr.nodes[ds[0].Targets[0].Node], pkts, cursor)
 		return
 	}
 	for _, pkt := range pkts {
-		s.exec(pr, ds, pkt)
+		s.exec(pr, ds, pkt, cursor)
 	}
 }
 
@@ -562,26 +598,33 @@ func (s *Server) allocCopy() *packet.Packet {
 	}
 }
 
-// deliver sends one packet reference to a target.
-func (s *Server) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped bool) {
+// deliver sends one packet reference to a target, carrying the span
+// cursor (end timestamp of the packet's previous span, 0 unsampled)
+// into the next stage: ring deliveries stash it for the consumer, join
+// deliveries ride it on the merge item, and output closes the chain
+// with the terminal span.
+func (s *Server) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped bool, cursor int64) {
 	switch t.Kind {
 	case ToNode:
 		var one [1]*packet.Packet
 		one[0] = pkt
-		s.ringPush(pr, pr.nodes[t.Node], one[:])
+		s.ringPush(pr, pr.nodes[t.Node], one[:], cursor)
 	case ToJoin:
 		// Merger agent (§5.3): hash the immutable PID to pick the
 		// merger instance, so all copies of one packet meet at the
 		// same merger while different packets spread across instances.
 		m := s.mergers[flow.HashPID(pkt.Meta.PID)%uint64(len(s.mergers))]
-		m.in <- mergeItem{pkt: pkt, mid: pr.plan.MID, join: t.Join, dropped: dropped}
+		m.in <- mergeItem{pkt: pkt, mid: pr.plan.MID, join: t.Join, dropped: dropped, cursor: cursor}
 	case ToOutput:
 		if s.tracer.Sampled(pkt.Meta.PID) {
 			st := telemetry.StageOutput
 			if dropped {
 				st = telemetry.StageDrop
 			}
-			s.tracer.Record(pkt.Meta.PID, pkt.Meta.MID, st, "", time.Now().UnixNano())
+			s.tracer.RecordSpan(telemetry.TraceEvent{
+				PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
+				Stage: st, Begin: cursor, TS: time.Now().UnixNano(),
+			})
 		}
 		if dropped {
 			s.drops.Add(1)
@@ -595,8 +638,8 @@ func (s *Server) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped 
 
 // deliverDrop routes a drop intention (with the packet reference so
 // buffers can be reclaimed) to the nearest join or the output.
-func (s *Server) deliverDrop(pr *planRuntime, t Target, pkt *packet.Packet) {
-	s.deliver(pr, t, pkt, true)
+func (s *Server) deliverDrop(pr *planRuntime, t Target, pkt *packet.Packet, cursor int64) {
+	s.deliver(pr, t, pkt, true, cursor)
 }
 
 // joinSpec resolves a join for the mergers.

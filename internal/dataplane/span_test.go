@@ -1,0 +1,166 @@
+package dataplane
+
+import (
+	"fmt"
+	"testing"
+
+	"nfp/internal/core"
+	"nfp/internal/graph"
+	"nfp/internal/nf"
+	"nfp/internal/nfa"
+	"nfp/internal/packet"
+	"nfp/internal/policy"
+	"nfp/internal/telemetry"
+)
+
+// spanNF instantiates the NFs used by the span-model example chains.
+func spanNF(t *testing.T, name string) nf.NF {
+	t.Helper()
+	switch name {
+	case nfa.NFMonitor:
+		return nf.NewMonitor()
+	case nfa.NFIDS:
+		ids, err := nf.NewIDS(10, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ids
+	case nfa.NFLB:
+		lb, err := nf.NewLoadBalancer(nf.DefaultBackendCount)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lb
+	case nfa.NFVPN:
+		vpn, err := nf.NewVPN(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vpn
+	case nfa.NFFirewall:
+		fw, err := nf.NewFirewall(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fw
+	default:
+		t.Fatalf("no constructor for %q", name)
+		return nil
+	}
+}
+
+// spanServer compiles a chain policy and builds a rate-1-traced server
+// around it with the given injection burst size.
+func spanServer(t *testing.T, burst int, names ...string) *Server {
+	t.Helper()
+	res, err := core.Compile(policy.FromChain(names...), nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := make(map[graph.NF]nf.NF, len(names))
+	for _, name := range names {
+		insts[nfn(name, 0)] = spanNF(t, name)
+	}
+	s := New(Config{PoolSize: 512, TraceSampleRate: 1, TraceCapacity: 1 << 16, Burst: burst})
+	if err := s.AddGraphInstances(1, res.Graph, insts); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSpanDecompositionExact is the tentpole invariant: for every
+// sampled packet, on every example graph, at scalar and batched burst
+// sizes, the span buckets tile the e2e latency with EXACT equality —
+// classify + ring-wait + service + merge-wait + merge + output == e2e.
+func TestSpanDecompositionExact(t *testing.T) {
+	chains := [][]string{
+		{nfa.NFIDS, nfa.NFMonitor, nfa.NFLB},
+		{nfa.NFVPN, nfa.NFMonitor, nfa.NFFirewall, nfa.NFLB},
+		{nfa.NFMonitor, nfa.NFFirewall},
+	}
+	const n = 200
+	for _, names := range chains {
+		for _, burst := range []int{1, 32} {
+			t.Run(fmt.Sprintf("%v/burst%d", names, burst), func(t *testing.T) {
+				s := spanServer(t, burst, names...)
+				outs := runTrafficBurst(t, s, n, burst, func(i int) packet.BuildSpec {
+					return spec(byte(i%8), uint16(5000+i%16), "span-exactness")
+				})
+				for _, p := range outs {
+					p.Free()
+				}
+
+				groups, truncated := s.Tracer().GroupByPID()
+				if truncated != 0 {
+					t.Fatalf("ring evicted %d traces despite 64Ki capacity", truncated)
+				}
+				if len(groups) != n {
+					t.Fatalf("decomposable traces = %d, want %d", len(groups), n)
+				}
+				for pid, spans := range groups {
+					at, ok := telemetry.Decompose(spans)
+					if !ok {
+						t.Fatalf("pid %d: complete trace did not decompose: %d spans", pid, len(spans))
+					}
+					sum := at.Classify + at.RingWait + at.Service + at.MergeWait + at.Merge + at.Output
+					if sum != at.E2E {
+						t.Errorf("pid %d: buckets sum %d != e2e %d (off by %d): %+v",
+							pid, sum, at.E2E, at.E2E-sum, at)
+					}
+					if at.E2E <= 0 {
+						t.Errorf("pid %d: non-positive e2e %d", pid, at.E2E)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSpanCriticalPathSpeedup checks the critical-path analyzer on a
+// graph the compiler parallelizes: every packet's critical path is
+// bounded by its sequential service sum, and the aggregate measured
+// speedup is strictly above 1 (the paper's premise — NF parallelism
+// shortens the service component of latency).
+func TestSpanCriticalPathSpeedup(t *testing.T) {
+	s := spanServer(t, 1, nfa.NFIDS, nfa.NFMonitor, nfa.NFLB)
+	const n = 400
+	outs := runTraffic(t, s, n, func(i int) packet.BuildSpec {
+		return spec(byte(i%8), uint16(6000+i%16), "span-speedup")
+	})
+	for _, p := range outs {
+		p.Free()
+	}
+
+	groups, _ := s.Tracer().GroupByPID()
+	if len(groups) == 0 {
+		t.Fatal("no complete traces captured")
+	}
+	parallel := false
+	for pid, spans := range groups {
+		cp, ok := telemetry.AnalyzeCriticalPath(spans)
+		if !ok {
+			t.Fatalf("pid %d: trace did not analyze", pid)
+		}
+		if cp.CriticalNS > cp.SeqNS {
+			t.Errorf("pid %d: critical path %dns exceeds sequential sum %dns", pid, cp.CriticalNS, cp.SeqNS)
+		}
+		if cp.CriticalNS < cp.SeqNS {
+			parallel = true
+		}
+	}
+	if !parallel {
+		t.Error("no packet had critical < seq — compiled graph is not parallel")
+	}
+
+	rep := telemetry.BuildCriticalPathReport(s.Tracer().Events())
+	mc := rep.ByMID[1]
+	if mc == nil {
+		t.Fatal("mid 1 missing from critical-path report")
+	}
+	if mc.Packets != len(groups) {
+		t.Errorf("report packets = %d, want %d", mc.Packets, len(groups))
+	}
+	if mc.Speedup <= 1.0 {
+		t.Errorf("aggregate speedup = %.3f, want > 1.0 on a parallel graph", mc.Speedup)
+	}
+}

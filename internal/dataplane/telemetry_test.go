@@ -156,7 +156,10 @@ func TestTelemetryTraceHopOrder(t *testing.T) {
 			t.Errorf("pid %d does not end at output/drop: %v", pid, last)
 		}
 		// Stage ordering: classify strictly precedes all NF hops,
-		// which precede merge, which precedes output.
+		// which precede merge, which precedes output. The span model
+		// interleaves ring-wait/merge-wait/copy spans between these
+		// milestones, so the rank check covers the milestone stages
+		// only.
 		rank := map[telemetry.Stage]int{
 			telemetry.StageClassify: 0,
 			telemetry.StageNF:       1,
@@ -164,10 +167,16 @@ func TestTelemetryTraceHopOrder(t *testing.T) {
 			telemetry.StageOutput:   3,
 			telemetry.StageDrop:     3,
 		}
-		for i := 1; i < len(hops); i++ {
-			if rank[hops[i].Stage] < rank[hops[i-1].Stage] {
-				t.Errorf("pid %d hop %d out of order: %v after %v", pid, i, hops[i].Stage, hops[i-1].Stage)
+		prev := -1
+		for i, h := range hops {
+			r, milestone := rank[h.Stage]
+			if !milestone {
+				continue
 			}
+			if r < prev {
+				t.Errorf("pid %d hop %d out of order: %v (rank %d after %d)", pid, i, h.Stage, r, prev)
+			}
+			prev = r
 		}
 		// The sequential prefix ids → monitor → lb shows up in NF-hop
 		// name order for this compiled graph.

@@ -62,6 +62,9 @@ type LiveOptions struct {
 	// TraceSampleRate enables packet-path tracing (see
 	// dataplane.Config.TraceSampleRate).
 	TraceSampleRate int
+	// TraceCapacity sizes the tracer's span ring (see
+	// dataplane.Config.TraceCapacity; 0 keeps the default 4096).
+	TraceCapacity int
 	// OnServer, if non-nil, observes the server after Start and before
 	// traffic — nfpd uses it to expose the live registry over HTTP.
 	OnServer func(*dataplane.Server)
@@ -117,6 +120,7 @@ func RunLiveGraphOpts(g graph.Node, n int, gen *trafficgen.Generator, opts LiveO
 		Registry:        LiveRegistry,
 		Telemetry:       opts.Telemetry,
 		TraceSampleRate: opts.TraceSampleRate,
+		TraceCapacity:   opts.TraceCapacity,
 		Burst:           opts.Burst,
 		RingPolicy:      opts.RingPolicy,
 		SpinLimit:       opts.SpinLimit,

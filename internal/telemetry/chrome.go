@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: renders retained spans in the catapult
+// trace-event JSON format, so a live nfpd trace opens directly in
+// chrome://tracing, Perfetto, or speedscope.
+//
+// Mapping: each MID (micrograph) becomes one trace "process"; each
+// sampled (packet PID, version) chain becomes one "thread" within it,
+// so parallel branch copies render as concurrently executing threads.
+// Every span is a complete ("X") event with microsecond-float ts/dur
+// relative to the earliest retained span, making output deterministic
+// for a fixed span set (the golden schema test relies on this).
+
+// chromeArgs carries the span detail into the viewer's args pane.
+// Field order is the marshal order — keep it stable for the golden.
+type chromeArgs struct {
+	PID    uint64 `json:"pid"`
+	Stage  string `json:"stage"`
+	Ver    uint8  `json:"ver,omitempty"`
+	Join   int    `json:"join,omitempty"`
+	SrcVer uint8  `json:"srcver,omitempty"`
+	Seq    uint64 `json:"seq"`
+}
+
+// chromeEvent is one trace-event record. M (metadata) events reuse the
+// struct with zero ts/dur and name-only args.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  uint32  `json:"pid"`
+	TID  int     `json:"tid"`
+	Args any     `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object form of the format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeThreadKey identifies one rendered thread: a (packet, version)
+// chain within its micrograph process.
+type chromeThreadKey struct {
+	pid uint64
+	ver uint8
+}
+
+// WriteChromeTrace renders events (seq-ordered, as returned by
+// Tracer.Events) as a Chrome trace-event JSON document.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	doc := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
+
+	var t0 int64
+	for _, ev := range events {
+		if t0 == 0 || ev.Begin < t0 {
+			t0 = ev.Begin
+		}
+	}
+
+	// Thread ids assigned in first-appearance (seq) order, per process.
+	tids := make(map[chromeThreadKey]int)
+	seenProc := make(map[uint32]bool)
+	for _, ev := range events {
+		if !seenProc[ev.MID] {
+			seenProc[ev.MID] = true
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", PID: ev.MID,
+				Args: map[string]string{"name": fmt.Sprintf("mid %d", ev.MID)},
+			})
+		}
+		tk := chromeThreadKey{pid: ev.PID, ver: ev.Ver}
+		tid, ok := tids[tk]
+		if !ok {
+			tid = len(tids) + 1
+			tids[tk] = tid
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: ev.MID, TID: tid,
+				Args: map[string]string{"name": fmt.Sprintf("pid %d v%d", ev.PID, ev.Ver)},
+			})
+		}
+		name := ev.Stage.String()
+		if ev.Name != "" {
+			name = name + " " + ev.Name
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: name,
+			Ph:   "X",
+			TS:   float64(ev.Begin-t0) / 1e3, // trace-event ts unit is µs
+			Dur:  float64(ev.Dur()) / 1e3,
+			PID:  ev.MID,
+			TID:  tid,
+			Args: chromeArgs{
+				PID: ev.PID, Stage: ev.Stage.String(), Ver: ev.Ver,
+				Join: ev.Join, SrcVer: ev.SrcVer, Seq: ev.Seq,
+			},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// ValidateChromeTrace checks that data is a structurally valid Chrome
+// trace-event JSON object document: the schema contract the golden
+// test (and any consumer feeding chrome://tracing) relies on.
+func ValidateChromeTrace(data []byte) error {
+	var doc struct {
+		TraceEvents     []map[string]json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string                       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("chrome trace: not a JSON object document: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("chrome trace: missing traceEvents array")
+	}
+	if doc.DisplayTimeUnit != "ms" && doc.DisplayTimeUnit != "ns" {
+		return fmt.Errorf("chrome trace: displayTimeUnit %q (want ms or ns)", doc.DisplayTimeUnit)
+	}
+	str := func(ev map[string]json.RawMessage, key string) (string, error) {
+		raw, ok := ev[key]
+		if !ok {
+			return "", fmt.Errorf("missing %q", key)
+		}
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return "", fmt.Errorf("%q not a string", key)
+		}
+		return s, nil
+	}
+	num := func(ev map[string]json.RawMessage, key string) (float64, error) {
+		raw, ok := ev[key]
+		if !ok {
+			return 0, fmt.Errorf("missing %q", key)
+		}
+		var f float64
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return 0, fmt.Errorf("%q not a number", key)
+		}
+		return f, nil
+	}
+	for i, ev := range doc.TraceEvents {
+		ph, err := str(ev, "ph")
+		if err != nil {
+			return fmt.Errorf("chrome trace: event %d: %w", i, err)
+		}
+		switch ph {
+		case "X":
+			name, err := str(ev, "name")
+			if err != nil {
+				return fmt.Errorf("chrome trace: event %d: %w", i, err)
+			}
+			if name == "" {
+				return fmt.Errorf("chrome trace: event %d: empty name", i)
+			}
+			for _, key := range []string{"ts", "dur", "pid", "tid"} {
+				v, err := num(ev, key)
+				if err != nil {
+					return fmt.Errorf("chrome trace: event %d (%s): %w", i, name, err)
+				}
+				if (key == "ts" || key == "dur") && v < 0 {
+					return fmt.Errorf("chrome trace: event %d (%s): negative %s", i, name, key)
+				}
+			}
+		case "M":
+			name, err := str(ev, "name")
+			if err != nil {
+				return fmt.Errorf("chrome trace: event %d: %w", i, err)
+			}
+			if name != "process_name" && name != "thread_name" {
+				return fmt.Errorf("chrome trace: event %d: unknown metadata %q", i, name)
+			}
+			var args struct {
+				Name string `json:"name"`
+			}
+			raw, ok := ev["args"]
+			if !ok || json.Unmarshal(raw, &args) != nil || args.Name == "" {
+				return fmt.Errorf("chrome trace: event %d: metadata %q without args.name", i, name)
+			}
+		case "i", "B", "E":
+			// Instant and begin/end duration events are legal in the
+			// format; we do not emit them but tolerate them on input.
+		default:
+			return fmt.Errorf("chrome trace: event %d: unsupported ph %q", i, ph)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestChromeTraceGolden locks down the exporter's output byte-for-byte
+// on a fixed span set and checks the result passes the schema
+// validator. Regenerate with: go test ./internal/telemetry -run
+// ChromeTraceGolden -update
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, parallelSpans()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (rerun with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace output drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Errorf("exporter output fails its own schema validator: %v", err)
+	}
+}
+
+// TestChromeTraceEmpty checks the degenerate export is still a valid
+// document (empty traceEvents array, not null).
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Errorf("empty trace invalid: %v", err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"traceEvents": null`)) {
+		t.Error("empty trace emitted null traceEvents")
+	}
+}
+
+// TestValidateChromeTraceRejects checks the validator's negative space:
+// each malformed document must produce an error.
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":           `{`,
+		"missing events":     `{"displayTimeUnit":"ns"}`,
+		"bad time unit":      `{"traceEvents":[],"displayTimeUnit":"fortnights"}`,
+		"unknown ph":         `{"traceEvents":[{"ph":"Z","name":"x","ts":0,"dur":0,"pid":1,"tid":1}],"displayTimeUnit":"ns"}`,
+		"missing ph":         `{"traceEvents":[{"name":"x","ts":0,"dur":0,"pid":1,"tid":1}],"displayTimeUnit":"ns"}`,
+		"X without name":     `{"traceEvents":[{"ph":"X","ts":0,"dur":0,"pid":1,"tid":1}],"displayTimeUnit":"ns"}`,
+		"X empty name":       `{"traceEvents":[{"ph":"X","name":"","ts":0,"dur":0,"pid":1,"tid":1}],"displayTimeUnit":"ns"}`,
+		"X missing ts":       `{"traceEvents":[{"ph":"X","name":"x","dur":0,"pid":1,"tid":1}],"displayTimeUnit":"ns"}`,
+		"X negative dur":     `{"traceEvents":[{"ph":"X","name":"x","ts":0,"dur":-5,"pid":1,"tid":1}],"displayTimeUnit":"ns"}`,
+		"X string pid":       `{"traceEvents":[{"ph":"X","name":"x","ts":0,"dur":0,"pid":"one","tid":1}],"displayTimeUnit":"ns"}`,
+		"M unknown metadata": `{"traceEvents":[{"ph":"M","name":"color_name","args":{"name":"x"}}],"displayTimeUnit":"ns"}`,
+		"M without args":     `{"traceEvents":[{"ph":"M","name":"process_name"}],"displayTimeUnit":"ns"}`,
+		"M empty args name":  `{"traceEvents":[{"ph":"M","name":"thread_name","args":{"name":""}}],"displayTimeUnit":"ns"}`,
+	}
+	for name, doc := range cases {
+		if err := ValidateChromeTrace([]byte(doc)); err == nil {
+			t.Errorf("%s: validator accepted %s", name, doc)
+		}
+	}
+
+	// And the tolerated phases pass.
+	ok := `{"traceEvents":[{"ph":"i","name":"marker"},{"ph":"B","name":"b"},{"ph":"E"}],"displayTimeUnit":"ms"}`
+	if err := ValidateChromeTrace([]byte(ok)); err != nil {
+		t.Errorf("tolerated phases rejected: %v", err)
+	}
+}

@@ -109,11 +109,21 @@ type Dump struct {
 	Traces  []TraceEvent `json:"traces,omitempty"`
 }
 
+// SpansDump is the /debug/spans JSON document: per-packet span groups
+// plus the count of packets whose trace head was evicted.
+type SpansDump struct {
+	TruncatedPIDs int                     `json:"truncated_pids"`
+	Spans         map[uint64][]TraceEvent `json:"spans"`
+}
+
 // Handler serves the introspection endpoints:
 //
-//	/metrics          Prometheus text format
-//	/debug/telemetry  JSON Dump (metrics + traces)
-//	/debug/pprof/...  the standard profiles, when withPprof is set
+//	/metrics             Prometheus text format
+//	/debug/telemetry     JSON Dump (metrics + traces)
+//	/debug/spans         per-PID span groups (?format=chrome for the
+//	                     Chrome trace-event JSON export)
+//	/debug/criticalpath  per-MID latency attribution + parallel speedup
+//	/debug/pprof/...     the standard profiles, when withPprof is set
 //
 // reg and tr may be nil (empty sections).
 func Handler(reg *Registry, tr *Tracer, withPprof bool) http.Handler {
@@ -127,6 +137,23 @@ func Handler(reg *Registry, tr *Tracer, withPprof bool) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(Dump{Metrics: reg.Snapshot(), Traces: tr.Events()})
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Query().Get("format") == "chrome" {
+			_ = WriteChromeTrace(w, tr.Events())
+			return
+		}
+		spans, truncated := tr.GroupByPID()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(SpansDump{TruncatedPIDs: truncated, Spans: spans})
+	})
+	mux.HandleFunc("/debug/criticalpath", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(BuildCriticalPathReport(tr.Events()))
 	})
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

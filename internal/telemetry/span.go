@@ -1,0 +1,289 @@
+package telemetry
+
+// Span analysis: decomposing one sampled packet's end-to-end latency
+// into stage durations and computing its critical path through the
+// parallel service graph.
+//
+// The dataplane threads a "cursor" (the end timestamp of the previous
+// span) along every packet chain, so the spans of one version chain
+// tile contiguously: each span begins exactly where its predecessor
+// ended. Decompose exploits that tiling to attribute e2e latency
+// EXACTLY — the stage buckets sum to the measured end-to-end latency
+// with no gaps or double counting, because they are one telescoping
+// sum over adjacent timestamps.
+
+// Attribution is one packet's end-to-end latency broken down by stage.
+// When OK, Classify+RingWait+Service+MergeWait+Merge+Output == E2E.
+type Attribution struct {
+	PID uint64 `json:"pid"`
+	MID uint32 `json:"mid"`
+	// E2E is the packet's end-to-end latency in nanoseconds, from the
+	// classify span's begin (source ingress when stamped) to the
+	// output/drop span's end.
+	E2E int64 `json:"e2e_ns"`
+	// Stage buckets, nanoseconds.
+	Classify  int64 `json:"classify_ns"`
+	RingWait  int64 `json:"ring_wait_ns"`
+	Service   int64 `json:"service_ns"`
+	MergeWait int64 `json:"merge_wait_ns"`
+	Merge     int64 `json:"merge_ns"`
+	Output    int64 `json:"output_ns"`
+	// Spans is how many spans the walked chain consumed.
+	Spans int `json:"spans"`
+}
+
+// Decompose walks one packet's spans (as returned per PID by
+// GroupEvents) along its base version chain and attributes the
+// end-to-end latency to stages. It reports ok=false when the chain is
+// incomplete (evicted spans, packet still in flight) or does not tile.
+//
+// Parallel branches: copies run on their own version chains and
+// rejoin the base chain through the merge span, so the base chain
+// alone tiles the full [classify, output] interval — branch spans
+// overlap the base chain's merge-wait and are intentionally not
+// summed (they describe concurrency, not extra latency). In a shared
+// no-copy group several branches carry the base version; Decompose
+// then follows one branch's tiling (they all rejoin at the same merge
+// timestamp, so the sum is identical whichever branch is walked).
+func Decompose(spans []TraceEvent) (Attribution, bool) {
+	var at Attribution
+	if len(spans) == 0 || spans[0].Stage != StageClassify {
+		return at, false
+	}
+	head := spans[0]
+	at.PID = head.PID
+	at.MID = head.MID
+	at.Classify = head.Dur()
+	at.Spans = 1
+	chainVer := head.Ver
+
+	used := make([]bool, len(spans))
+	used[0] = true
+	cursor := head.TS
+	for {
+		// Among unused same-version spans beginning exactly at the
+		// cursor, pick the earliest-recorded (lowest Seq — spans arrive
+		// seq-sorted, so first match wins).
+		pick := -1
+		for i, ev := range spans {
+			if used[i] || ev.Ver != chainVer || ev.Stage == StageCopy {
+				continue
+			}
+			if ev.Begin == cursor {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			return at, false // chain broken: evicted span or still in flight
+		}
+		ev := spans[pick]
+		used[pick] = true
+		at.Spans++
+		d := ev.Dur()
+		switch ev.Stage {
+		case StageRingWait:
+			at.RingWait += d
+		case StageNF:
+			at.Service += d
+		case StageMergeWait:
+			at.MergeWait += d
+		case StageMerge:
+			at.Merge += d
+		case StageOutput, StageDrop:
+			at.Output += d
+			at.E2E = ev.TS - head.Begin
+			return at, true
+		default:
+			return at, false // classify cannot recur mid-chain
+		}
+		cursor = ev.TS
+	}
+}
+
+// CriticalPath is one packet's parallelism measurement: the critical
+// path of NF service time through the parallel graph versus the
+// sequential sum of the same service times — the paper's per-packet
+// latency win. CriticalNS <= SeqNS always (a path's service time can
+// never exceed the sum over all NFs).
+type CriticalPath struct {
+	PID uint64 `json:"pid"`
+	MID uint32 `json:"mid"`
+	// E2E is the measured end-to-end latency.
+	E2E int64 `json:"e2e_ns"`
+	// CriticalNS is the largest accumulated NF service time along any
+	// dependency path from classify to output.
+	CriticalNS int64 `json:"critical_ns"`
+	// SeqNS is the sum of every NF service span — what a sequential
+	// chain would have paid in service time alone.
+	SeqNS int64 `json:"seq_ns"`
+}
+
+// AnalyzeCriticalPath computes the critical path of one packet's span
+// set (all version chains included). It replays spans in record order
+// as a dataflow DP keyed by timestamp: every span propagates the
+// accumulated service time from its begin timestamp to its end
+// timestamp, NF spans add their duration, and joins take the max over
+// their arriving tails — so the value at the output span's begin is
+// the max-over-paths sum of service durations, the critical path.
+func AnalyzeCriticalPath(spans []TraceEvent) (CriticalPath, bool) {
+	var cp CriticalPath
+	if len(spans) == 0 || spans[0].Stage != StageClassify {
+		return cp, false
+	}
+	head := spans[0]
+	cp.PID = head.PID
+	cp.MID = head.MID
+
+	// acc[ts] = max accumulated NF service time over all dependency
+	// paths ending at timestamp ts. joins[j] accumulates the max over
+	// tails that reached join j.
+	acc := make(map[int64]int64, len(spans))
+	joins := make(map[int]int64)
+	prop := func(from, to, add int64) {
+		if v := acc[from] + add; v > acc[to] {
+			acc[to] = v
+		}
+	}
+	for _, ev := range spans {
+		switch ev.Stage {
+		case StageClassify:
+			prop(ev.Begin, ev.TS, 0)
+		case StageNF:
+			cp.SeqNS += ev.Dur()
+			prop(ev.Begin, ev.TS, ev.Dur())
+		case StageMergeWait:
+			if v := acc[ev.Begin]; v > joins[ev.Join] {
+				joins[ev.Join] = v
+			}
+			// The join's merge span starts at the shared merge-wait end
+			// timestamp; publish the max-over-tails there.
+			if v := joins[ev.Join]; v > acc[ev.TS] {
+				acc[ev.TS] = v
+			}
+		case StageOutput, StageDrop:
+			cp.CriticalNS = acc[ev.Begin]
+			cp.E2E = ev.TS - head.Begin
+			return cp, true
+		default: // ring-wait, merge, copy: carry, add nothing
+			prop(ev.Begin, ev.TS, 0)
+		}
+	}
+	return cp, false // no terminal span retained
+}
+
+// MIDCriticalPath aggregates attribution and critical-path results for
+// one micrograph (MID).
+type MIDCriticalPath struct {
+	MID     uint32 `json:"mid"`
+	Packets int    `json:"packets"`
+
+	// Percentiles over sampled packets, nanoseconds (<=12.5% bucket
+	// error, same geometry as the /metrics histograms).
+	E2EP50      uint64 `json:"e2e_p50_ns"`
+	E2EP99      uint64 `json:"e2e_p99_ns"`
+	CriticalP50 uint64 `json:"critical_p50_ns"`
+	CriticalP99 uint64 `json:"critical_p99_ns"`
+	SeqP50      uint64 `json:"seq_p50_ns"`
+	SeqP99      uint64 `json:"seq_p99_ns"`
+
+	// Speedup is the aggregate parallelism win: total sequential
+	// service time divided by total critical-path service time across
+	// all sampled packets (1.0 = no parallelism benefit).
+	Speedup float64 `json:"speedup"`
+	// SpeedupP50/P99 are percentiles of the per-packet seq/critical
+	// ratio.
+	SpeedupP50 float64 `json:"speedup_p50"`
+	SpeedupP99 float64 `json:"speedup_p99"`
+
+	// Attribution bucket totals (nanoseconds summed over packets).
+	Classify  int64 `json:"classify_ns"`
+	RingWait  int64 `json:"ring_wait_ns"`
+	Service   int64 `json:"service_ns"`
+	MergeWait int64 `json:"merge_wait_ns"`
+	Merge     int64 `json:"merge_ns"`
+	Output    int64 `json:"output_ns"`
+	E2E       int64 `json:"e2e_ns"`
+
+	totalCrit int64
+	totalSeq  int64
+	hE2E      *Histogram
+	hCrit     *Histogram
+	hSeq      *Histogram
+	hSpeedup  *Histogram // per-packet seq/critical ratio, in milli (x1000)
+}
+
+// CriticalPathReport is the /debug/criticalpath document: per-MID
+// latency attribution and parallel speedup over the retained sampled
+// packets.
+type CriticalPathReport struct {
+	// Packets is the number of complete sampled packets analyzed.
+	Packets int `json:"packets"`
+	// Truncated counts packets whose trace head was evicted from the
+	// ring; Unparsed counts retained traces whose chain did not
+	// decompose (typically still in flight at snapshot time).
+	Truncated int `json:"truncated"`
+	Unparsed  int `json:"unparsed"`
+
+	ByMID map[uint32]*MIDCriticalPath `json:"by_mid"`
+}
+
+// BuildCriticalPathReport analyzes every complete packet trace in
+// events (as returned by Tracer.Events) and aggregates per MID.
+func BuildCriticalPathReport(events []TraceEvent) CriticalPathReport {
+	rep := CriticalPathReport{ByMID: map[uint32]*MIDCriticalPath{}}
+	groups, truncated := GroupEvents(events)
+	rep.Truncated = truncated
+	for _, spans := range groups {
+		at, ok := Decompose(spans)
+		if !ok {
+			rep.Unparsed++
+			continue
+		}
+		cp, ok := AnalyzeCriticalPath(spans)
+		if !ok {
+			rep.Unparsed++
+			continue
+		}
+		rep.Packets++
+		mc := rep.ByMID[at.MID]
+		if mc == nil {
+			mc = &MIDCriticalPath{
+				MID:      at.MID,
+				hE2E:     NewHistogram(),
+				hCrit:    NewHistogram(),
+				hSeq:     NewHistogram(),
+				hSpeedup: NewHistogram(),
+			}
+			rep.ByMID[at.MID] = mc
+		}
+		mc.Packets++
+		mc.Classify += at.Classify
+		mc.RingWait += at.RingWait
+		mc.Service += at.Service
+		mc.MergeWait += at.MergeWait
+		mc.Merge += at.Merge
+		mc.Output += at.Output
+		mc.E2E += at.E2E
+		mc.totalCrit += cp.CriticalNS
+		mc.totalSeq += cp.SeqNS
+		mc.hE2E.Record(at.E2E)
+		mc.hCrit.Record(cp.CriticalNS)
+		mc.hSeq.Record(cp.SeqNS)
+		if cp.CriticalNS > 0 {
+			mc.hSpeedup.Record(cp.SeqNS * 1000 / cp.CriticalNS)
+		}
+	}
+	for _, mc := range rep.ByMID {
+		e2e, crit, seq, sp := mc.hE2E.Snapshot(), mc.hCrit.Snapshot(), mc.hSeq.Snapshot(), mc.hSpeedup.Snapshot()
+		mc.E2EP50, mc.E2EP99 = e2e.Percentile(50), e2e.Percentile(99)
+		mc.CriticalP50, mc.CriticalP99 = crit.Percentile(50), crit.Percentile(99)
+		mc.SeqP50, mc.SeqP99 = seq.Percentile(50), seq.Percentile(99)
+		mc.SpeedupP50 = float64(sp.Percentile(50)) / 1000
+		mc.SpeedupP99 = float64(sp.Percentile(99)) / 1000
+		if mc.totalCrit > 0 {
+			mc.Speedup = float64(mc.totalSeq) / float64(mc.totalCrit)
+		}
+	}
+	return rep
+}

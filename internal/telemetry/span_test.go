@@ -1,0 +1,185 @@
+package telemetry
+
+import "testing"
+
+// seqSpans numbers a synthetic span list so it looks like tracer
+// output (seq-sorted, seq assigned in record order).
+func seqSpans(spans []TraceEvent) []TraceEvent {
+	for i := range spans {
+		spans[i].Seq = uint64(i + 1)
+	}
+	return spans
+}
+
+// TestDecomposeSequentialChain checks exact attribution on a plain
+// sequential chain: the buckets telescope to the e2e latency.
+func TestDecomposeSequentialChain(t *testing.T) {
+	spans := seqSpans([]TraceEvent{
+		{PID: 9, MID: 1, Ver: 1, Stage: StageClassify, Begin: 100, TS: 110},
+		{PID: 9, MID: 1, Ver: 1, Stage: StageRingWait, Begin: 110, TS: 150},
+		{PID: 9, MID: 1, Ver: 1, Stage: StageNF, Name: "ids", Begin: 150, TS: 250},
+		{PID: 9, MID: 1, Ver: 1, Stage: StageRingWait, Begin: 250, TS: 260},
+		{PID: 9, MID: 1, Ver: 1, Stage: StageNF, Name: "lb", Begin: 260, TS: 460},
+		{PID: 9, MID: 1, Ver: 1, Stage: StageOutput, Begin: 460, TS: 465},
+	})
+	at, ok := Decompose(spans)
+	if !ok {
+		t.Fatal("complete chain did not decompose")
+	}
+	if at.PID != 9 || at.MID != 1 {
+		t.Errorf("identity = pid %d mid %d", at.PID, at.MID)
+	}
+	if at.E2E != 365 {
+		t.Errorf("e2e = %d, want 365", at.E2E)
+	}
+	if at.Classify != 10 || at.RingWait != 50 || at.Service != 300 || at.Output != 5 {
+		t.Errorf("buckets = %+v", at)
+	}
+	if sum := at.Classify + at.RingWait + at.Service + at.MergeWait + at.Merge + at.Output; sum != at.E2E {
+		t.Errorf("buckets sum %d != e2e %d", sum, at.E2E)
+	}
+	if at.Spans != len(spans) {
+		t.Errorf("consumed %d spans, want %d", at.Spans, len(spans))
+	}
+}
+
+// parallelSpans is a two-branch parallel micrograph: the base chain
+// (v1) runs one NF while a copied branch (v2) runs a slower NF; they
+// rejoin at merge-wait/merge and output. NF durations: v1=100, v2=200.
+func parallelSpans() []TraceEvent {
+	return seqSpans([]TraceEvent{
+		{PID: 4, MID: 2, Ver: 1, Stage: StageClassify, Begin: 1000, TS: 1010},
+		{PID: 4, MID: 2, Ver: 2, Stage: StageCopy, SrcVer: 1, Begin: 1010, TS: 1020},
+		{PID: 4, MID: 2, Ver: 1, Stage: StageRingWait, Begin: 1010, TS: 1030},
+		{PID: 4, MID: 2, Ver: 2, Stage: StageRingWait, Begin: 1020, TS: 1040},
+		{PID: 4, MID: 2, Ver: 1, Stage: StageNF, Name: "fast", Begin: 1030, TS: 1130},
+		{PID: 4, MID: 2, Ver: 2, Stage: StageNF, Name: "slow", Begin: 1040, TS: 1240},
+		// Both tails wait for the join; finalize at 1250.
+		{PID: 4, MID: 2, Ver: 1, Stage: StageMergeWait, Join: 1, Begin: 1130, TS: 1250},
+		{PID: 4, MID: 2, Ver: 2, Stage: StageMergeWait, Join: 1, Begin: 1240, TS: 1250},
+		{PID: 4, MID: 2, Ver: 1, Stage: StageMerge, Join: 1, Begin: 1250, TS: 1260},
+		{PID: 4, MID: 2, Ver: 1, Stage: StageOutput, Begin: 1260, TS: 1265},
+	})
+}
+
+// TestDecomposeParallelBranches checks the base chain alone tiles the
+// e2e interval: branch spans describe concurrency, not extra latency.
+func TestDecomposeParallelBranches(t *testing.T) {
+	at, ok := Decompose(parallelSpans())
+	if !ok {
+		t.Fatal("parallel chain did not decompose")
+	}
+	if at.E2E != 265 {
+		t.Errorf("e2e = %d, want 265", at.E2E)
+	}
+	// Base chain only: classify 10, ring-wait 20, nf 100, merge-wait
+	// 120, merge 10, output 5.
+	if at.Classify != 10 || at.RingWait != 20 || at.Service != 100 ||
+		at.MergeWait != 120 || at.Merge != 10 || at.Output != 5 {
+		t.Errorf("buckets = %+v", at)
+	}
+	if sum := at.Classify + at.RingWait + at.Service + at.MergeWait + at.Merge + at.Output; sum != at.E2E {
+		t.Errorf("buckets sum %d != e2e %d", sum, at.E2E)
+	}
+}
+
+// TestDecomposeBrokenChain checks incomplete spans report not-ok
+// instead of a wrong attribution.
+func TestDecomposeBrokenChain(t *testing.T) {
+	if _, ok := Decompose(nil); ok {
+		t.Error("empty span set decomposed")
+	}
+	// Head is not classify.
+	if _, ok := Decompose(seqSpans([]TraceEvent{
+		{PID: 1, Ver: 1, Stage: StageNF, Begin: 10, TS: 20},
+	})); ok {
+		t.Error("headless chain decomposed")
+	}
+	// Gap: NF begins after the classify cursor.
+	if _, ok := Decompose(seqSpans([]TraceEvent{
+		{PID: 1, Ver: 1, Stage: StageClassify, Begin: 10, TS: 20},
+		{PID: 1, Ver: 1, Stage: StageNF, Begin: 25, TS: 40},
+		{PID: 1, Ver: 1, Stage: StageOutput, Begin: 40, TS: 45},
+	})); ok {
+		t.Error("gapped chain decomposed")
+	}
+	// No terminal span (packet still in flight).
+	if _, ok := Decompose(seqSpans([]TraceEvent{
+		{PID: 1, Ver: 1, Stage: StageClassify, Begin: 10, TS: 20},
+		{PID: 1, Ver: 1, Stage: StageNF, Begin: 20, TS: 40},
+	})); ok {
+		t.Error("unterminated chain decomposed")
+	}
+}
+
+// TestCriticalPathParallel checks the DP on the parallel micrograph:
+// the critical path takes the slow branch's service time, the
+// sequential sum takes both.
+func TestCriticalPathParallel(t *testing.T) {
+	cp, ok := AnalyzeCriticalPath(parallelSpans())
+	if !ok {
+		t.Fatal("parallel chain did not analyze")
+	}
+	if cp.SeqNS != 300 {
+		t.Errorf("seq = %d, want 300 (100+200)", cp.SeqNS)
+	}
+	if cp.CriticalNS != 200 {
+		t.Errorf("critical = %d, want 200 (slow branch)", cp.CriticalNS)
+	}
+	if cp.CriticalNS > cp.SeqNS {
+		t.Errorf("critical %d > seq %d", cp.CriticalNS, cp.SeqNS)
+	}
+	if cp.E2E != 265 {
+		t.Errorf("e2e = %d, want 265", cp.E2E)
+	}
+}
+
+// TestCriticalPathSequentialEqualsSeq checks a chain with no
+// parallelism has critical == seq (speedup exactly 1).
+func TestCriticalPathSequentialEqualsSeq(t *testing.T) {
+	spans := seqSpans([]TraceEvent{
+		{PID: 9, MID: 1, Ver: 1, Stage: StageClassify, Begin: 100, TS: 110},
+		{PID: 9, MID: 1, Ver: 1, Stage: StageRingWait, Begin: 110, TS: 150},
+		{PID: 9, MID: 1, Ver: 1, Stage: StageNF, Name: "a", Begin: 150, TS: 250},
+		{PID: 9, MID: 1, Ver: 1, Stage: StageRingWait, Begin: 250, TS: 260},
+		{PID: 9, MID: 1, Ver: 1, Stage: StageNF, Name: "b", Begin: 260, TS: 460},
+		{PID: 9, MID: 1, Ver: 1, Stage: StageOutput, Begin: 460, TS: 465},
+	})
+	cp, ok := AnalyzeCriticalPath(spans)
+	if !ok {
+		t.Fatal("sequential chain did not analyze")
+	}
+	if cp.CriticalNS != 300 || cp.SeqNS != 300 {
+		t.Errorf("critical/seq = %d/%d, want 300/300", cp.CriticalNS, cp.SeqNS)
+	}
+}
+
+// TestBuildCriticalPathReport checks aggregation: packet counts,
+// truncation accounting, the aggregate speedup ratio, and bucket sums.
+func TestBuildCriticalPathReport(t *testing.T) {
+	var events []TraceEvent
+	events = append(events, parallelSpans()...)
+	// A truncated group: lone NF span for another pid.
+	events = append(events, TraceEvent{Seq: 100, PID: 77, MID: 2, Ver: 1, Stage: StageNF, Begin: 5, TS: 6})
+	rep := BuildCriticalPathReport(events)
+	if rep.Packets != 1 || rep.Truncated != 1 || rep.Unparsed != 0 {
+		t.Fatalf("packets/truncated/unparsed = %d/%d/%d, want 1/1/0",
+			rep.Packets, rep.Truncated, rep.Unparsed)
+	}
+	mc := rep.ByMID[2]
+	if mc == nil {
+		t.Fatal("mid 2 missing from report")
+	}
+	if mc.Packets != 1 {
+		t.Errorf("mid 2 packets = %d", mc.Packets)
+	}
+	if want := 1.5; mc.Speedup != want {
+		t.Errorf("speedup = %v, want %v (300/200)", mc.Speedup, want)
+	}
+	if mc.Service != 100 || mc.MergeWait != 120 {
+		t.Errorf("bucket sums: service %d merge-wait %d", mc.Service, mc.MergeWait)
+	}
+	if mc.E2E != 265 {
+		t.Errorf("e2e sum = %d", mc.E2E)
+	}
+}

@@ -21,6 +21,15 @@ const (
 	StageOutput
 	// StageDrop is the packet's drop being accounted at the output.
 	StageDrop
+	// StageRingWait is the time a reference spent queued in an NF's
+	// receive ring (producer enqueue to consumer dequeue).
+	StageRingWait
+	// StageMergeWait is one branch tail waiting in the Accumulating
+	// Table (tail arrival to join completion).
+	StageMergeWait
+	// StageCopy is the materialization of a parallel-branch copy; its
+	// SrcVer names the version it forked from.
+	StageCopy
 )
 
 func (s Stage) String() string {
@@ -35,6 +44,12 @@ func (s Stage) String() string {
 		return "output"
 	case StageDrop:
 		return "drop"
+	case StageRingWait:
+		return "ring-wait"
+	case StageMergeWait:
+		return "merge-wait"
+	case StageCopy:
+		return "copy"
 	}
 	return "stage(?)"
 }
@@ -44,7 +59,7 @@ func (s Stage) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
 
 // UnmarshalText parses a stage name back from a JSON trace dump.
 func (s *Stage) UnmarshalText(b []byte) error {
-	for cand := StageClassify; cand <= StageDrop; cand++ {
+	for cand := StageClassify; cand <= StageCopy; cand++ {
 		if cand.String() == string(b) {
 			*s = cand
 			return nil
@@ -53,34 +68,71 @@ func (s *Stage) UnmarshalText(b []byte) error {
 	return fmt.Errorf("telemetry: unknown stage %q", b)
 }
 
-// TraceEvent is one hop record of a sampled packet.
+// TraceEvent is one span of a sampled packet: the half-open interval
+// [Begin, TS] a packet reference spent in one pipeline stage. Spans of
+// one version chain tile contiguously — each span begins exactly where
+// the previous span of its chain ended — so the stage durations of a
+// packet sum to its end-to-end latency with no gaps or double counting.
+// Point events recorded through Record degenerate to zero-length spans.
 type TraceEvent struct {
 	// Seq is a global monotonic sequence number; sorting by Seq
 	// reconstructs hop order across goroutines.
 	Seq uint64 `json:"seq"`
 	PID uint64 `json:"pid"`
 	MID uint32 `json:"mid"`
-	// Stage says which pipeline layer recorded the hop.
+	// Ver is the packet-copy version the span was recorded for (the
+	// original is 1; parallel copies get their own chains).
+	Ver uint8 `json:"ver,omitempty"`
+	// Stage says which pipeline layer recorded the span.
 	Stage Stage `json:"stage"`
 	// Name identifies the component (NF name, merger instance, …).
 	Name string `json:"name,omitempty"`
-	// TS is the hop's wall-clock nanosecond timestamp.
+	// Begin is the span's start wall-clock nanosecond timestamp.
+	Begin int64 `json:"begin,omitempty"`
+	// TS is the span's end wall-clock nanosecond timestamp.
 	TS int64 `json:"ts"`
+	// Join is 1 + the join ID on merge-wait and merge spans (0 = the
+	// span is not part of a join).
+	Join int `json:"join,omitempty"`
+	// SrcVer is the version a copy span forked from (copy spans only).
+	SrcVer uint8 `json:"srcver,omitempty"`
 }
 
-// Tracer records hop-by-hop packet paths for a sampled subset of PIDs
-// into a bounded ring, overwriting the oldest events on wrap. Sampling
-// is a two-instruction hash-and-mask on the immutable PID, so every
-// hop of one packet is either fully traced or fully skipped; the
-// Sampled check is the only cost unsampled packets pay.
+// Dur returns the span's duration in nanoseconds.
+func (e TraceEvent) Dur() int64 { return e.TS - e.Begin }
+
+// cursorKey identifies one in-flight ring delivery of a sampled packet:
+// a (pid, version) reference enqueued toward one NF runtime.
+type cursorKey struct {
+	pid  uint64
+	ver  uint8
+	node int
+}
+
+// Tracer records per-stage spans of a sampled subset of packets into a
+// bounded ring, overwriting the oldest events on wrap. Sampling is a
+// two-instruction hash-and-mask on the immutable PID, so every hop of
+// one packet is either fully traced or fully skipped; the Sampled check
+// is the only cost unsampled packets pay.
 type Tracer struct {
 	mask uint64 // sample when mix(pid)&mask == 0
 	seq  atomic.Uint64
+
+	// evicted counts ring overwrites; nil until SetEvictedCounter.
+	evicted *Counter
 
 	mu   sync.Mutex
 	buf  []TraceEvent
 	next int  // ring write cursor
 	full bool // buf has wrapped at least once
+
+	// cursors carries span-chain cursors across ring handoffs: the
+	// producer stashes its chain position when it enqueues a sampled
+	// reference, the consuming runtime takes it back at dequeue as the
+	// ring-wait span's begin. Keyed per delivery, so parallel branches
+	// that share one packet reference never race on a common field.
+	cmu     sync.Mutex
+	cursors map[cursorKey]int64
 }
 
 // NewTracer creates a tracer sampling roughly one in sampleRate packets
@@ -98,7 +150,11 @@ func NewTracer(sampleRate, capacity int) *Tracer {
 	for int(mask<<1) <= sampleRate {
 		mask <<= 1
 	}
-	return &Tracer{mask: mask - 1, buf: make([]TraceEvent, 0, capacity)}
+	return &Tracer{
+		mask:    mask - 1,
+		buf:     make([]TraceEvent, 0, capacity),
+		cursors: make(map[cursorKey]int64),
+	}
 }
 
 // mixPID decorrelates sequential PIDs (classifiers hand them out
@@ -114,22 +170,70 @@ func (t *Tracer) Sampled(pid uint64) bool {
 	return t != nil && mixPID(pid)&t.mask == 0
 }
 
-// Record appends one hop event. Callers gate on Sampled first. Safe on
-// a nil receiver.
+// SetEvictedCounter wires a counter that ticks once per trace event
+// overwritten on ring wrap, making eviction pressure visible. Call
+// before recording begins.
+func (t *Tracer) SetEvictedCounter(c *Counter) {
+	if t != nil {
+		t.evicted = c
+	}
+}
+
+// Record appends one zero-length span (a point event) — the
+// compatibility shim over RecordSpan. Callers gate on Sampled first.
+// Safe on a nil receiver.
 func (t *Tracer) Record(pid uint64, mid uint32, stage Stage, name string, ts int64) {
+	t.RecordSpan(TraceEvent{PID: pid, MID: mid, Stage: stage, Name: name, Begin: ts, TS: ts})
+}
+
+// RecordSpan appends one span. The tracer assigns Seq; a Begin that is
+// unset, negative, or after TS clamps to TS (zero-length span), so
+// durations are never negative. Callers gate on Sampled first. Safe on
+// a nil receiver.
+func (t *Tracer) RecordSpan(ev TraceEvent) {
 	if t == nil {
 		return
 	}
-	ev := TraceEvent{Seq: t.seq.Add(1), PID: pid, MID: mid, Stage: stage, Name: name, TS: ts}
+	if ev.Begin <= 0 || ev.Begin > ev.TS {
+		ev.Begin = ev.TS
+	}
+	ev.Seq = t.seq.Add(1)
 	t.mu.Lock()
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, ev)
 	} else {
 		t.buf[t.next] = ev
 		t.full = true
+		t.evicted.Inc()
 	}
 	t.next = (t.next + 1) % cap(t.buf)
 	t.mu.Unlock()
+}
+
+// StashCursor records the chain cursor of a sampled (pid, ver)
+// reference about to be enqueued toward node, to be taken back by the
+// consumer as its ring-wait begin. Safe on a nil receiver.
+func (t *Tracer) StashCursor(pid uint64, ver uint8, node int, ts int64) {
+	if t == nil {
+		return
+	}
+	t.cmu.Lock()
+	t.cursors[cursorKey{pid: pid, ver: ver, node: node}] = ts
+	t.cmu.Unlock()
+}
+
+// TakeCursor removes and returns the stashed cursor for a (pid, ver)
+// delivery to node, or 0 when none was stashed. Safe on a nil receiver.
+func (t *Tracer) TakeCursor(pid uint64, ver uint8, node int) int64 {
+	if t == nil {
+		return 0
+	}
+	key := cursorKey{pid: pid, ver: ver, node: node}
+	t.cmu.Lock()
+	ts := t.cursors[key]
+	delete(t.cursors, key)
+	t.cmu.Unlock()
+	return ts
 }
 
 // Events returns the retained events ordered by sequence number
@@ -154,23 +258,40 @@ func (t *Tracer) Events() []TraceEvent {
 	return out
 }
 
-// ByPID groups the retained events per packet, each group hop-ordered.
-// Packets whose classify hop was already overwritten are dropped, so
-// every returned trace starts at the classifier. Safe on a nil
-// receiver.
-func (t *Tracer) ByPID() map[uint64][]TraceEvent {
-	evs := t.Events()
+// GroupEvents groups a seq-ordered event slice per packet. Packets
+// whose classify span was already overwritten are removed from the
+// groups and reported in the second return value as truncated, so
+// every returned trace starts at the classifier and eviction is
+// visible instead of silent.
+func GroupEvents(evs []TraceEvent) (map[uint64][]TraceEvent, int) {
 	if len(evs) == 0 {
-		return nil
+		return nil, 0
 	}
 	m := make(map[uint64][]TraceEvent)
 	for _, ev := range evs {
 		m[ev.PID] = append(m[ev.PID], ev)
 	}
+	truncated := 0
 	for pid, hops := range m {
 		if hops[0].Stage != StageClassify {
 			delete(m, pid)
+			truncated++
 		}
 	}
+	return m, truncated
+}
+
+// GroupByPID groups the retained events per packet, each group
+// hop-ordered, plus the number of packets dropped because their head
+// (the classify span) was evicted from the ring. Safe on a nil
+// receiver.
+func (t *Tracer) GroupByPID() (map[uint64][]TraceEvent, int) {
+	return GroupEvents(t.Events())
+}
+
+// ByPID is GroupByPID without the truncation count, kept for callers
+// that only need the complete traces. Safe on a nil receiver.
+func (t *Tracer) ByPID() map[uint64][]TraceEvent {
+	m, _ := t.GroupByPID()
 	return m
 }
