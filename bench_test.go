@@ -119,7 +119,14 @@ func benchNFPGraph(b *testing.B, g graph.Node, payload string) {
 // The Burst1/Burst32 benchmark pairs below are the tracked
 // burst-regression suite (ci.sh bench).
 func benchNFPGraphBurst(b *testing.B, g graph.Node, burst int, payload string) {
-	srv := dataplane.New(dataplane.Config{PoolSize: 2048, Mergers: 2, Burst: burst})
+	benchNFPGraphBurstFusion(b, g, burst, dataplane.FusionAuto, payload)
+}
+
+// benchNFPGraphBurstFusion is benchNFPGraphBurst with the execution
+// engine pinned — the _NoFusion variants measure the pipelined
+// one-ring-per-NF layout against the default fused engine.
+func benchNFPGraphBurstFusion(b *testing.B, g graph.Node, burst int, fusion dataplane.FusionMode, payload string) {
+	srv := dataplane.New(dataplane.Config{PoolSize: 2048, Mergers: 2, Burst: burst, Fusion: fusion})
 	if err := srv.AddGraph(1, g); err != nil {
 		b.Fatal(err)
 	}
@@ -250,6 +257,26 @@ func BenchmarkFig13_NorthSouth_Burst32(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchNFPGraphBurst(b, res.Graph, 32, "north-south payload")
+}
+
+// --- Fusion ablation: the same tracked graphs with fusion disabled ---
+//
+// The _NoFusion variants pin the pipelined engine (one ring per NF) so
+// ci.sh bench-compare can report the run-to-completion win; the
+// unsuffixed benchmarks above run the default fused engine.
+
+func BenchmarkTable4_NFP_Len3_Burst32_NoFusion(b *testing.B) {
+	benchNFPGraphBurstFusion(b, parGraph(nfa.NFFirewall, 3, false), 32, dataplane.FusionOff, "x")
+}
+func BenchmarkFig7_NFP_SeqChain5_Burst32_NoFusion(b *testing.B) {
+	benchNFPGraphBurstFusion(b, seqGraph(nfa.NFL3Fwd, 5), 32, dataplane.FusionOff, "x")
+}
+func BenchmarkFig13_NorthSouth_Burst32_NoFusion(b *testing.B) {
+	res, err := core.Compile(policy.FromChain(nfa.NFVPN, nfa.NFMonitor, nfa.NFFirewall, nfa.NFLB), nil, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNFPGraphBurstFusion(b, res.Graph, 32, dataplane.FusionOff, "north-south payload")
 }
 
 // --- Figure 8: per-NF-type sequential vs parallel ---

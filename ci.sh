@@ -7,6 +7,12 @@
 #   ./ci.sh bench  — the non-blocking burst-regression job: runs the
 #                    Burst1/Burst32 benchmark pairs with -benchmem and
 #                    writes BENCH_burst.json for artifact upload.
+#   ./ci.sh bench-compare — the non-blocking fusion-ablation job: runs
+#                    the Burst1/Burst32 pairs plus their _NoFusion
+#                    variants, writes BENCH_fusion.json, and prints a
+#                    per-benchmark delta table against the previous
+#                    BENCH_burst.json when one exists (fail-soft: a
+#                    missing or malformed baseline only warns).
 #   ./ci.sh fuzz   — the non-blocking fuzz smoke: each native fuzz
 #                    target gets a short -fuzztime budget (override with
 #                    FUZZ_TIME) on top of its checked-in seed corpus.
@@ -55,6 +61,57 @@ if [ "${1:-}" = "bench" ]; then
         END { printf "\n]\n" }
     ' "$raw" > "$out"
     echo "wrote $out"
+    exit 0
+fi
+
+if [ "${1:-}" = "bench-compare" ]; then
+    out="${BENCH_OUT:-BENCH_fusion.json}"
+    base="${BENCH_BASELINE:-BENCH_burst.json}"
+    raw="$(mktemp)"
+    trap 'rm -f "$raw"' EXIT
+    go test -run '^$' -bench 'Burst(1|32)(_NoFusion)?$' -benchmem -benchtime="${BENCH_TIME:-1s}" . | tee "$raw"
+    awk '
+        BEGIN { print "[" }
+        /^Benchmark/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            ns = $3; bytes = $5; allocs = $7
+            pps = (ns > 0) ? 1e9 / ns : 0
+            if (n++) printf ",\n"
+            printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"pkts_per_sec\": %.0f, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+                name, ns, pps, bytes, allocs
+        }
+        END { printf "\n]\n" }
+    ' "$raw" > "$out"
+    echo "wrote $out"
+    # Delta table vs the previous burst-suite JSON. _NoFusion rows
+    # compare against the unsuffixed baseline name, so the fusion-off
+    # engine is expected near 0% and the fused rows show the win.
+    # Fail-soft by design: this job reports, it never gates.
+    if [ -f "$base" ]; then
+        awk -v base="$base" '
+            NR == FNR {
+                if (match($0, /"name": "[^"]+"/)) {
+                    name = substr($0, RSTART + 9, RLENGTH - 10)
+                    if (match($0, /"ns_per_op": [0-9.]+/))
+                        prev[name] = substr($0, RSTART + 13, RLENGTH - 13)
+                }
+                next
+            }
+            /^Benchmark/ {
+                name = $1; sub(/-[0-9]+$/, "", name)
+                key = name; sub(/_NoFusion$/, "", key)
+                ns = $3 + 0
+                if (key in prev && prev[key] > 0) {
+                    delta = 100 * (ns - prev[key]) / prev[key]
+                    printf "%-48s %10.1f ns/op  baseline %10.1f  delta %+7.1f%%\n", name, ns, prev[key], delta
+                } else {
+                    printf "%-48s %10.1f ns/op  (no baseline)\n", name, ns
+                }
+            }
+        ' "$base" "$raw" || echo "warning: delta table failed (malformed $base?)"
+    else
+        echo "warning: no baseline $base — skipping delta table"
+    fi
     exit 0
 fi
 

@@ -62,7 +62,8 @@ func run() int {
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics and /debug/telemetry on this address (keeps serving after the run until interrupted)")
 	traceSample := flag.Int("trace-sample", 0, "trace ~1/N packets hop-by-hop (0 = off; rounded down to a power of two)")
 	traceBuf := flag.Int("trace-buf", 0, "tracer span ring capacity in events (0 = default 4096)")
-	withPprof := flag.Bool("pprof", false, "also mount /debug/pprof on the telemetry address")
+	fusion := flag.Bool("fusion", true,
+		"fuse sequential graph segments into run-to-completion runtimes (false = one ring per NF)")
 	burst := flag.Int("burst", dataplane.DefaultBurst,
 		"dataplane burst size: packets moved per ring operation (1 = scalar compatibility mode)")
 	ringPolicy := flag.String("ring-policy", "block",
@@ -136,6 +137,10 @@ func run() int {
 	if err != nil {
 		fail(err)
 	}
+	fusionMode := dataplane.FusionOn
+	if !*fusion {
+		fusionMode = dataplane.FusionOff
+	}
 	opts := experiments.LiveOptions{
 		TraceSampleRate: *traceSample,
 		TraceCapacity:   *traceBuf,
@@ -143,6 +148,7 @@ func run() int {
 		RingPolicy:      bpPolicy,
 		SpinLimit:       *spinLimit,
 		RingSize:        *ringSize,
+		Fusion:          fusionMode,
 	}
 	if bpPolicy == dataplane.BPShedLowestPriority {
 		// Rank NFs from the policy's Priority rules so only the
@@ -150,6 +156,7 @@ func run() int {
 		opts.NodePriority = pol.PriorityRanks()
 	}
 	fmt.Printf("burst size:        %d\n", *burst)
+	fmt.Printf("execution engine:  fusion %s\n", fusionMode)
 	fmt.Printf("ring policy:       %s (spin limit %d)\n", bpPolicy, *spinLimit)
 	if *pcapPath != "" {
 		f, err := os.Create(*pcapPath)
@@ -172,11 +179,11 @@ func run() int {
 		// endpoint observes the run live.
 		opts.Telemetry = telemetry.NewRegistry()
 		opts.OnServer = func(s *dataplane.Server) {
-			_, bound, err := telemetry.Serve(*telemetryAddr, opts.Telemetry, s.Tracer(), *withPprof)
+			_, bound, err := telemetry.Serve(*telemetryAddr, opts.Telemetry, s.Tracer())
 			if err != nil {
 				fail(err)
 			}
-			fmt.Printf("telemetry:         http://%s/metrics (and /debug/telemetry, /debug/spans, /debug/criticalpath)\n", bound)
+			fmt.Printf("telemetry:         http://%s/metrics (and /debug/telemetry, /debug/spans, /debug/criticalpath, /debug/pprof)\n", bound)
 		}
 	}
 	live, err := experiments.RunLiveGraphOpts(res.Graph, *packets, gen, opts)

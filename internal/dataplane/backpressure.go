@@ -77,7 +77,7 @@ func (s *Server) ringPush(pr *planRuntime, n *nodeRT, pkts []*packet.Packet, cur
 	if tr := s.tracer; tr != nil {
 		for _, pkt := range pkts {
 			if tr.Sampled(pkt.Meta.PID) {
-				tr.StashCursor(pkt.Meta.PID, pkt.Meta.Version, n.plan.ID, cursor)
+				tr.StashCursor(pkt.Meta.PID, pkt.Meta.Version, n.head().plan.ID, cursor)
 			}
 		}
 	}
@@ -125,8 +125,8 @@ func (s *Server) shedBurst(pr *planRuntime, n *nodeRT, pkts []*packet.Packet) {
 		// from where the producer left off.
 		var cursor int64
 		if s.tracer.Sampled(pkt.Meta.PID) {
-			cursor = s.tracer.TakeCursor(pkt.Meta.PID, pkt.Meta.Version, n.plan.ID)
+			cursor = s.tracer.TakeCursor(pkt.Meta.PID, pkt.Meta.Version, n.head().plan.ID)
 		}
-		s.deliverDrop(pr, n.plan.DropTo, pkt, cursor)
+		s.deliverDrop(pr, n.head().plan.DropTo, pkt, cursor)
 	}
 }

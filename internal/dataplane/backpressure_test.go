@@ -148,7 +148,7 @@ func TestShedLowestPriorityTargetsOnlyLowRank(t *testing.T) {
 	nodes := nodesOf(s, 1)
 	var monNode, fwdNode *nodeRT
 	for _, n := range nodes {
-		switch n.plan.NF.Name {
+		switch n.head().plan.NF.Name {
 		case nfa.NFMonitor:
 			monNode = n
 		case nfa.NFL3Fwd:

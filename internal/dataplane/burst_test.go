@@ -177,7 +177,7 @@ type burstRun struct {
 	seen    map[string]uint64
 }
 
-func runBurstChain(t *testing.T, chain []string, g graph.Node, n, burst int) *burstRun {
+func runBurstChain(t *testing.T, chain []string, g graph.Node, n, burst int, fusion FusionMode) *burstRun {
 	t.Helper()
 	obs := map[string]*obsNF{}
 	instances := map[graph.NF]nf.NF{}
@@ -190,7 +190,7 @@ func runBurstChain(t *testing.T, chain []string, g graph.Node, n, burst int) *bu
 			instances[nfn(name, 0)] = oc
 		}
 	}
-	s := New(Config{PoolSize: 1024, Mergers: 2, Burst: burst})
+	s := New(Config{PoolSize: 1024, Mergers: 2, Burst: burst, Fusion: fusion})
 	if err := s.AddGraphInstances(1, g, instances); err != nil {
 		t.Fatal(err)
 	}
@@ -283,8 +283,8 @@ func TestBurstDifferentialExampleGraphs(t *testing.T) {
 			if err != nil {
 				t.Fatalf("chain %v %s compile: %v", chain, mode.name, err)
 			}
-			scalar := runBurstChain(t, chain, res.Graph, n, 1)
-			burst := runBurstChain(t, chain, res.Graph, n, 32)
+			scalar := runBurstChain(t, chain, res.Graph, n, 1, FusionAuto)
+			burst := runBurstChain(t, chain, res.Graph, n, 32, FusionAuto)
 			if diffs := diffBurstRuns(scalar, burst); len(diffs) != 0 {
 				t.Errorf("chain %v (%s graph %v): burst=32 NOT equivalent to burst=1:\n  %v",
 					chain, mode.name, res.Graph, diffs)

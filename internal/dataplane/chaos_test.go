@@ -39,13 +39,14 @@ func (c *chaosCollector) wait() int {
 	return c.n
 }
 
-// nodesOf returns the runtime nodes of a MID (test-side introspection).
+// nodesOf returns the segment runtimes of a MID (test-side
+// introspection). With fusion off every segment is one NF.
 func nodesOf(s *Server, mid uint32) []*nodeRT {
 	pr := (*s.plans.Load())[mid]
 	if pr == nil {
 		return nil
 	}
-	return pr.nodes
+	return pr.rts
 }
 
 // waitHealthy polls until every node of the MID is healthy again (the
@@ -169,9 +170,12 @@ func TestChaosNFPanic(t *testing.T) {
 				t.Fatalf("pool leak: %d buffers", leak)
 			}
 			for _, n := range nodesOf(s, 1) {
-				if in, out, drops := n.pktsIn.Value(), n.pktsOut.Value(), n.drops.Value(); in != out+drops {
-					t.Errorf("node %s conservation broken: in=%d out=%d drops=%d",
-						n.plan.NF, in, out, drops)
+				for i := range n.nfs {
+					sn := &n.nfs[i]
+					if in, out, drops := sn.pktsIn.Value(), sn.pktsOut.Value(), sn.drops.Value(); in != out+drops {
+						t.Errorf("node %s conservation broken: in=%d out=%d drops=%d",
+							sn.plan.NF, in, out, drops)
+					}
 				}
 			}
 		})
@@ -414,5 +418,111 @@ func TestChaosSpanConservation(t *testing.T) {
 	}
 	if terminalDrops != st.Drops {
 		t.Errorf("drop-terminated traces = %d, drop counter = %d", terminalDrops, st.Drops)
+	}
+}
+
+// TestChaosFusedSegmentPanic is the fused-engine crash case: the
+// MIDDLE NF of a 3-NF fused chain panics mid-burst. The whole segment
+// is the crash boundary — the panicked burst drops through the middle
+// NF's drop route, arrivals drain while the segment is unhealthy, the
+// supervisor swaps a fresh instance into exactly the panicked slot,
+// and a recovery wave then flows end-to-end with zero pool leaks and
+// exact conservation.
+func TestChaosFusedSegmentPanic(t *testing.T) {
+	fwdA, _ := nf.NewL3Forwarder(100)
+	fwdB, _ := nf.NewL3Forwarder(100)
+	panicMon := faultinject.NewPanicNF(nf.NewMonitor(), 10)
+	g := graph.Seq{Items: []graph.Node{
+		nfn(nfa.NFL3Fwd, 0), nfn(nfa.NFMonitor, 0), nfn(nfa.NFL3Fwd, 1),
+	}}
+	s := New(Config{PoolSize: 256, Burst: 32})
+	if err := s.AddGraphInstances(1, g, map[graph.NF]nf.NF{
+		nfn(nfa.NFL3Fwd, 0):   fwdA,
+		nfn(nfa.NFMonitor, 0): panicMon,
+		nfn(nfa.NFL3Fwd, 1):   fwdB,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rts := nodesOf(s, 1)
+	if len(rts) != 1 || len(rts[0].nfs) != 3 {
+		t.Fatalf("chain did not fuse into one 3-NF segment: %d runtimes", len(rts))
+	}
+	seg := rts[0]
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	col := collectOutputs(s)
+
+	const wave = 200
+	inject := func(n int) {
+		for i := 0; i < n; i++ {
+			pkt := buildInto(t, s, spec(byte(i%7), uint16(2000+i%7), "fused-chaos"))
+			if !s.Inject(pkt) {
+				t.Fatal("classification failed")
+			}
+		}
+	}
+	inject(wave)
+	for limit := time.Now().Add(2 * time.Second); panicMon.Panicked() == 0; {
+		if time.Now().After(limit) {
+			t.Fatalf("panicked = %d, want 1", panicMon.Panicked())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	waitHealthy(t, s, 1, 2*time.Second)
+	inject(wave)
+	s.Stop()
+	outs := uint64(col.wait())
+
+	st := s.Stats()
+	if st.Panics != 1 || st.Restarts < 1 {
+		t.Fatalf("panics=%d restarts=%d, want 1 and >=1 (supervisor must restart the segment)", st.Panics, st.Restarts)
+	}
+	if st.Injected != 2*wave || st.Outputs+st.Drops != st.Injected {
+		t.Fatalf("conservation broken: injected=%d outputs=%d drops=%d",
+			st.Injected, st.Outputs, st.Drops)
+	}
+	if outs != st.Outputs {
+		t.Fatalf("collected %d outputs, counter says %d", outs, st.Outputs)
+	}
+	if st.Outputs < wave {
+		t.Fatalf("outputs = %d, want >= %d (recovery wave must flow through the restarted segment)", st.Outputs, wave)
+	}
+	if st.Drops > wave {
+		t.Fatalf("drops = %d, want <= %d (crash must not eat the recovery wave)", st.Drops, wave)
+	}
+	if leak := s.Pool().InUse(); leak != 0 {
+		t.Fatalf("pool leak: %d buffers", leak)
+	}
+	// The panic is attributed to the middle slot, and only that slot's
+	// instance was replaced; per-NF conservation holds slot by slot.
+	if got := seg.nfs[1].panics.Value(); got != 1 {
+		t.Errorf("middle slot panics = %d, want 1", got)
+	}
+	if got := seg.nfs[1].panicDrops.Value(); got == 0 {
+		t.Error("middle slot recorded no panic drops")
+	}
+	if got := seg.nfs[1].restarts.Value(); got < 1 {
+		t.Errorf("middle slot restarts = %d, want >= 1", got)
+	}
+	for i := range seg.nfs {
+		sn := &seg.nfs[i]
+		if in, out, drops := sn.pktsIn.Value(), sn.pktsOut.Value(), sn.drops.Value(); in != out+drops {
+			t.Errorf("slot %d (%s) conservation broken: in=%d out=%d drops=%d",
+				i, sn.plan.NF, in, out, drops)
+		}
+		if i != 1 {
+			if got := sn.restarts.Value(); got != 0 {
+				t.Errorf("slot %d (%s) restarts = %d, want 0 (only the panicked slot is replaced)",
+					i, sn.plan.NF, got)
+			}
+		}
+	}
+	inst, ok := s.NodeRuntime(1, nfn(nfa.NFMonitor, 0))
+	if !ok {
+		t.Fatal("middle NF runtime lookup failed")
+	}
+	if inst == nf.NF(panicMon) {
+		t.Error("middle slot still runs the panicked instance after restart")
 	}
 }

@@ -206,18 +206,24 @@ func (c *Classifier) Classify(p *packet.Packet) (uint32, bool) {
 // The slice is stably partitioned in place: classified packets (their
 // metadata stamped) keep their relative order in pkts[:n]; unmatched
 // packets are compacted to pkts[n:]. It returns n.
+//
+// The partition is alloc-free: it maintains the invariant that
+// pkts[:n] holds the accepted packets and pkts[n:i] the rejects seen
+// so far, so an unmatched packet stays in place and an accepted one
+// rotates the reject run right by one slot. Burst sizes are small, so
+// the rotation (linear in the pending reject count) is cheaper than
+// the per-burst scratch slice it replaces — and it stays safe under
+// concurrent injectors, which a shared scratch buffer would not be.
 func (c *Classifier) ClassifyBatch(pkts []*packet.Packet) int {
 	t := c.loadTable()
 	var ruleHits, defHits, unmatched uint64
-	var rejects []*packet.Packet
 	var runMID uint32
 	var runCnt uint64
 	n := 0
-	for _, p := range pkts {
+	for i, p := range pkts {
 		mid, ok, viaDefault := c.lookupIn(t, p)
 		if !ok {
 			unmatched++
-			rejects = append(rejects, p)
 			continue
 		}
 		pid := c.nextPID.Add(1) & packet.MaxPID
@@ -233,6 +239,9 @@ func (c *Classifier) ClassifyBatch(pkts []*packet.Packet) int {
 		}
 		runMID = mid
 		runCnt++
+		if n < i {
+			copy(pkts[n+1:i+1], pkts[n:i])
+		}
 		pkts[n] = p
 		n++
 	}
@@ -248,7 +257,6 @@ func (c *Classifier) ClassifyBatch(pkts []*packet.Packet) int {
 	if unmatched > 0 {
 		c.unmatchedC.Add(unmatched)
 	}
-	copy(pkts[n:], rejects)
 	return n
 }
 

@@ -154,6 +154,100 @@ func (p *Plan) ShedSet(prio map[string]int) []bool {
 	return out
 }
 
+// FusedSegments is the segment-fusion pass: it partitions the plan's
+// nodes into maximal fusable segments — chains where every interior
+// edge a→b is strictly sequential, meaning a's forwarding table is a
+// single no-copy distribute to b alone and b has exactly one
+// predecessor reference anywhere in the plan (entry, node, or join
+// dispatch lists). Such an edge carries every packet a passes, and
+// nothing else ever lands in b's ring, so the ring is pure overhead:
+// the fused runtime invokes b on a's burst buffer directly.
+//
+// Copy dispatches, multi-target fan-outs and join continuations are
+// never fused across (they are the graph's real branch/merge points),
+// and drop routes cannot form fusion edges (DropTo is always a join or
+// the output). barrier, when non-nil, marks an isolation class per
+// node: edges whose endpoints differ are kept pipelined — the server
+// passes the shed-lowest-priority shed set here so a sheddable ring
+// stays a ring (fusing it away would silently promote a low-priority
+// NF to its upstream's lossless behavior).
+//
+// Every node appears in exactly one segment, ordered execution-first;
+// each segment's first node owns the receive ring.
+func (p *Plan) FusedSegments(barrier []bool) [][]int {
+	n := len(p.Nodes)
+	pred := make([]int, n)
+	countTargets := func(ds []Dispatch) {
+		for _, d := range ds {
+			for _, t := range d.Targets {
+				if t.Kind == ToNode {
+					pred[t.Node]++
+				}
+			}
+		}
+	}
+	countTargets(p.Entry)
+	for i := range p.Nodes {
+		countTargets(p.Nodes[i].Next)
+	}
+	for j := range p.Joins {
+		countTargets(p.Joins[j].Next)
+	}
+
+	// succ[a] = b when edge a→b is fusable, else -1.
+	succ := make([]int, n)
+	fusedPred := make([]bool, n)
+	for a := range p.Nodes {
+		succ[a] = -1
+		ds := p.Nodes[a].Next
+		if len(ds) != 1 || ds[0].NewVersion != 0 || len(ds[0].Targets) != 1 {
+			continue
+		}
+		t := ds[0].Targets[0]
+		if t.Kind != ToNode {
+			continue
+		}
+		b := t.Node
+		if b == a || pred[b] != 1 {
+			continue
+		}
+		if barrier != nil && barrier[a] != barrier[b] {
+			continue
+		}
+		succ[a] = b
+		fusedPred[b] = true
+	}
+
+	segs := make([][]int, 0, n)
+	placed := 0
+	for i := 0; i < n; i++ {
+		if fusedPred[i] {
+			continue // interior/tail: emitted from its segment head
+		}
+		seg := []int{i}
+		for next := succ[i]; next >= 0 && len(seg) <= n; next = succ[next] {
+			seg = append(seg, next)
+		}
+		placed += len(seg)
+		segs = append(segs, seg)
+	}
+	if placed != n {
+		// A plan with a dispatch cycle (impossible from CompilePlan, but
+		// plans are data) could strand nodes; run it unfused instead.
+		return singletonSegments(n)
+	}
+	return segs
+}
+
+// singletonSegments is the pipelined layout: one segment per node.
+func singletonSegments(n int) [][]int {
+	segs := make([][]int, n)
+	for i := 0; i < n; i++ {
+		segs[i] = []int{i}
+	}
+	return segs
+}
+
 // CompilePlan lowers a validated service graph into an execution plan.
 func CompilePlan(mid uint32, g graph.Node) (*Plan, error) {
 	if err := graph.Validate(g); err != nil {

@@ -18,54 +18,23 @@ type instBox struct {
 	nf nf.NF
 }
 
-// nodeRT is one NF runtime (§5.2): the per-NF shim that collects
-// packets from the receive ring, hands them to the NF logic, and then
-// performs the distributed forwarding actions of the NF's local
-// forwarding table — including copying for parallel branches and
-// conveying drop intentions to the merger.
-//
-// The runtime drains its ring in bursts of Config.Burst references
-// (DPDK-style burst receive): ring synchronization, counter updates and
-// the service-time histogram sample are paid once per burst, and the
-// passed packets of a burst are forwarded with one batched enqueue when
-// the next hop is a single NF.
-//
-// The runtime is also the NF's crash boundary: Process/ProcessBatch
-// run under panic recovery, so a faulty NF loses (at most) the burst
-// it was processing — every in-flight packet of the panicked burst is
-// routed through the drop path back to the pool — and the instance is
-// marked unhealthy for the supervisor to restart with backoff. While
-// unhealthy, arrivals are drained and dropped (graceful degradation:
-// the rest of the graph, and every other graph, keeps forwarding).
-type nodeRT struct {
-	plan   *PlanNode
-	instP  atomic.Pointer[instBox]
-	rx     *ring.MPSC
-	server *Server
-	pr     *planRuntime
-
-	// Health and restart state. healthy flips false on panic (runtime
-	// goroutine) and true on restart (supervisor goroutine); restartAt
-	// is the earliest restart time in unixnano; backoffNS doubles per
-	// panic up to Config.RestartBackoffMax.
-	healthy   atomic.Bool
-	restartAt atomic.Int64
-	backoffNS atomic.Int64
-
-	// Backpressure policy resolution for this node's receive ring.
-	canShed       bool
-	shedImmediate bool
-
-	// Per-runtime burst scratch (single consumer, never shared).
-	burst    []*packet.Packet
-	verdicts []nf.Verdict
-	passBuf  []*packet.Packet
+// segNF is one NF slot of a (possibly fused) runtime: the plan node it
+// executes, its live instance, and its registry-backed metrics. Every
+// NF keeps its own counters and service-time histogram whether it runs
+// alone or fused into a segment, so per-NF conservation
+// (in == out + drops) and telemetry cardinality are identical in both
+// execution modes.
+type segNF struct {
+	plan  *PlanNode
+	instP atomic.Pointer[instBox]
+	// panicked marks this slot for instance replacement when the
+	// supervisor restarts the segment.
+	panicked atomic.Bool
 
 	// Registry-backed per-NF metrics (labelled nf=<name>, mid=<mid>).
 	pktsIn       *telemetry.Counter
 	pktsOut      *telemetry.Counter
 	drops        *telemetry.Counter
-	sheds        *telemetry.Counter
 	panics       *telemetry.Counter
 	panicDrops   *telemetry.Counter
 	unhealthyDry *telemetry.Counter
@@ -73,13 +42,72 @@ type nodeRT struct {
 	restartFails *telemetry.Counter
 	healthyG     *telemetry.Gauge
 	svcTime      *telemetry.Histogram
-	ringHW       *telemetry.Gauge
 }
 
 // inst returns the live NF instance.
-func (n *nodeRT) inst() nf.NF { return n.instP.Load().nf }
+func (s *segNF) inst() nf.NF { return s.instP.Load().nf }
 
-// run is the NF runtime goroutine body. It polls the receive ring —
+// nodeRT is one NF runtime (§5.2) generalized to a fused segment: the
+// shim that collects packets from the receive ring, hands them to its
+// NF list in order, and then performs the distributed forwarding
+// actions of the LAST node's local forwarding table — including
+// copying for parallel branches and conveying drop intentions to the
+// merger. In the pipelined mode every segment holds exactly one NF and
+// this is precisely the paper's per-NF runtime; with fusion on, a
+// strictly sequential chain becomes one runtime that threads each
+// burst through its NFs back-to-back on the same buffer — BESS-style
+// run-to-completion — eliminating the ring handoff per interior edge.
+//
+// The runtime drains its ring in bursts of Config.Burst references
+// (DPDK-style burst receive): ring synchronization, counter updates and
+// the service-time histogram samples are paid once per burst, and the
+// passed packets of a burst are forwarded with one batched enqueue when
+// the next hop is a single NF.
+//
+// The runtime is also the crash boundary, now scoped to the whole
+// segment: Process/ProcessBatch run under panic recovery, so a faulty
+// NF loses (at most) the burst it was processing — every in-flight
+// packet of the panicked burst is routed through that NF's drop path
+// back to the pool — and the segment is marked unhealthy for the
+// supervisor to restart with backoff. While unhealthy, arrivals are
+// drained and dropped (graceful degradation: the rest of the graph,
+// and every other graph, keeps forwarding).
+type nodeRT struct {
+	nfs    []segNF // execution order; nfs[0] owns the receive ring
+	rx     *ring.MPSC
+	server *Server
+	pr     *planRuntime
+
+	// Health and restart state, segment-scoped. healthy flips false on
+	// panic (runtime goroutine) and true on restart (supervisor
+	// goroutine); restartAt is the earliest restart time in unixnano;
+	// backoffNS doubles per panic up to Config.RestartBackoffMax.
+	healthy   atomic.Bool
+	restartAt atomic.Int64
+	backoffNS atomic.Int64
+
+	// Backpressure policy resolution for this segment's receive ring.
+	canShed       bool
+	shedImmediate bool
+
+	// Per-runtime burst scratch (single consumer, never shared).
+	burst    []*packet.Packet
+	verdicts []nf.Verdict
+
+	// Ring-level metrics, labelled by the ring-owning head NF.
+	sheds  *telemetry.Counter
+	ringHW *telemetry.Gauge
+}
+
+// head is the ring-owning first NF slot; producers stash span cursors
+// and shed against it.
+func (n *nodeRT) head() *segNF { return &n.nfs[0] }
+
+// tail is the last NF slot; its forwarding table routes the segment's
+// survivors downstream.
+func (n *nodeRT) tail() *segNF { return &n.nfs[len(n.nfs)-1] }
+
+// run is the runtime goroutine body. It polls the receive ring —
 // DPDK-style busy polling softened with the bounded spin+park waiter,
 // so an idle or stalled runtime releases its core — until the server
 // stops and the ring drains.
@@ -99,36 +127,39 @@ func (n *nodeRT) run() {
 			// Crashed and not yet restarted: keep the graph draining by
 			// dropping arrivals through the normal drop route (buffers
 			// return to the pool, joins complete, accounting balances).
-			// The drained packets never reached the NF, so their span
-			// chains close with a ring-wait span into the drop route.
-			n.pktsIn.Add(uint64(cnt))
-			n.dropBurst(n.burst[:cnt], n.unhealthyDry, telemetry.StageRingWait, 0)
+			// The drained packets never reached the segment, so their
+			// span chains close with a ring-wait span into the drop
+			// route, charged to the head NF.
+			h := n.head()
+			h.pktsIn.Add(uint64(cnt))
+			n.dropBurst(h, n.burst[:cnt], h.unhealthyDry, telemetry.StageRingWait, 0)
 			continue
 		}
 		n.processBurst(n.burst[:cnt])
 	}
 }
 
-// invoke runs the NF over one burst inside the crash boundary. It
+// invoke runs one NF over one burst inside the crash boundary. It
 // reports false when the NF panicked, in which case the verdicts are
 // meaningless and the caller must treat the whole burst as dropped.
-func (n *nodeRT) invoke(pkts []*packet.Packet) (ok bool) {
+func (n *nodeRT) invoke(s *segNF, pkts []*packet.Packet) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			n.onPanic(r)
+			n.onPanic(s, r)
 			ok = false
 		}
 	}()
-	nf.ProcessAll(n.inst(), pkts, n.verdicts)
+	nf.ProcessAll(s.inst(), pkts, n.verdicts)
 	return true
 }
 
-// onPanic records an NF crash: the instance is unhealthy from now
-// until the supervisor swaps in a fresh one, no earlier than the
-// (exponentially backed off) restart time.
-func (n *nodeRT) onPanic(cause any) {
+// onPanic records an NF crash: the whole segment is unhealthy from now
+// until the supervisor swaps a fresh instance into the panicked slot,
+// no earlier than the (exponentially backed off) restart time.
+func (n *nodeRT) onPanic(s *segNF, cause any) {
 	_ = cause // the panic value is intentionally not propagated; counters tell the story
-	n.panics.Inc()
+	s.panics.Inc()
+	s.panicked.Store(true)
 	backoff := n.backoffNS.Load()
 	if backoff == 0 {
 		backoff = int64(n.server.cfg.RestartBackoff)
@@ -140,22 +171,22 @@ func (n *nodeRT) onPanic(cause any) {
 	}
 	n.backoffNS.Store(backoff)
 	n.restartAt.Store(time.Now().UnixNano() + backoff)
-	n.healthyG.Set(0)
+	s.healthyG.Set(0)
 	n.healthy.Store(false)
 }
 
-// dropBurst routes every packet of a burst through the node's drop
-// target, charging cause (panic or unhealthy-drain) and the node's
-// drop counter so per-NF conservation (in == out + drops) still holds.
+// dropBurst routes every packet of a burst through NF slot s's drop
+// target, charging cause (panic or unhealthy-drain) and s's drop
+// counter so per-NF conservation (in == out + drops) still holds.
 //
 // Sampled packets get a closing span so conservation also holds for
 // traces: stage says how far they got (ring-wait for unhealthy drains
 // whose cursor is still stashed — cursor 0 — or nf for a panicked
-// burst, whose ring-wait spans were already recorded against cursor,
-// the dequeue timestamp).
-func (n *nodeRT) dropBurst(pkts []*packet.Packet, cause *telemetry.Counter, stage telemetry.Stage, cursor int64) {
+// burst, whose preceding spans were already recorded against cursor,
+// the last amortized boundary timestamp).
+func (n *nodeRT) dropBurst(s *segNF, pkts []*packet.Packet, cause *telemetry.Counter, stage telemetry.Stage, cursor int64) {
 	cause.Add(uint64(len(pkts)))
-	n.drops.Add(uint64(len(pkts)))
+	s.drops.Add(uint64(len(pkts)))
 	tracer := n.server.tracer
 	var now int64
 	for _, pkt := range pkts {
@@ -165,47 +196,47 @@ func (n *nodeRT) dropBurst(pkts []*packet.Packet, cause *telemetry.Counter, stag
 				now = time.Now().UnixNano()
 			}
 			if c == 0 {
-				c = tracer.TakeCursor(pkt.Meta.PID, pkt.Meta.Version, n.plan.ID)
+				c = tracer.TakeCursor(pkt.Meta.PID, pkt.Meta.Version, n.head().plan.ID)
 			}
 			tracer.RecordSpan(telemetry.TraceEvent{
 				PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
-				Stage: stage, Name: n.plan.NF.String(), Begin: c, TS: now,
+				Stage: stage, Name: s.plan.NF.String(), Begin: c, TS: now,
 			})
 			c = now
 		}
-		n.server.deliverDrop(n.pr, n.plan.DropTo, pkt, c)
+		n.server.deliverDrop(n.pr, s.plan.DropTo, pkt, c)
 	}
 }
 
-// maybeRestart is the supervisor's per-node step: once the backoff
-// deadline passes, build a fresh instance from the registry and swap
-// it in. A registry miss (the node was installed with a caller-provided
-// instance of an unregistered type) counts as a failed restart and
-// retries after another backoff period.
+// maybeRestart is the supervisor's per-segment step: once the backoff
+// deadline passes, build fresh instances for every panicked slot from
+// the registry and swap them in, then revive the segment. A registry
+// miss (the slot was installed with a caller-provided instance of an
+// unregistered type) counts as a failed restart and retries after
+// another backoff period.
 func (n *nodeRT) maybeRestart(now int64) {
 	if n.healthy.Load() || now < n.restartAt.Load() {
 		return
 	}
-	inst, err := n.server.cfg.Registry.New(n.plan.NF.Name)
-	if err != nil {
-		n.restartFails.Inc()
-		n.restartAt.Store(now + n.backoffNS.Load())
-		return
+	for i := range n.nfs {
+		s := &n.nfs[i]
+		if !s.panicked.Load() {
+			continue
+		}
+		inst, err := n.server.cfg.Registry.New(s.plan.NF.Name)
+		if err != nil {
+			s.restartFails.Inc()
+			n.restartAt.Store(now + n.backoffNS.Load())
+			return
+		}
+		s.instP.Store(&instBox{nf: inst})
+		s.restarts.Inc()
+		s.panicked.Store(false)
+		s.healthyG.Set(1)
 	}
-	n.instP.Store(&instBox{nf: inst})
-	n.restarts.Inc()
-	n.healthyG.Set(1)
 	n.healthy.Store(true)
 }
 
-// processBurst handles one drained burst: one counter add for arrivals,
-// one NF invocation (batched when the NF supports it), one service-time
-// sample (the burst's mean per-packet time), then per-verdict routing
-// with the passed packets forwarded as a burst.
-//
-// With burst=1 this degenerates to exactly the scalar per-packet path:
-// every counter, histogram sample and trace event lands with the same
-// cardinality and values as the pre-burst dataplane.
 // ringWaitSpans closes the ring-wait span of every sampled packet in
 // the burst against one amortized dequeue timestamp (the return
 // value): begin comes from the cursor the producer stashed at enqueue,
@@ -215,6 +246,7 @@ func (n *nodeRT) maybeRestart(now int64) {
 // bloats the hot loop's code.
 func (n *nodeRT) ringWaitSpans(tracer *telemetry.Tracer, pkts []*packet.Packet) int64 {
 	var t1 int64
+	h := n.head()
 	for _, pkt := range pkts {
 		if tracer.Sampled(pkt.Meta.PID) {
 			if t1 == 0 {
@@ -222,8 +254,8 @@ func (n *nodeRT) ringWaitSpans(tracer *telemetry.Tracer, pkts []*packet.Packet) 
 			}
 			tracer.RecordSpan(telemetry.TraceEvent{
 				PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
-				Stage: telemetry.StageRingWait, Name: n.plan.NF.String(),
-				Begin: tracer.TakeCursor(pkt.Meta.PID, pkt.Meta.Version, n.plan.ID),
+				Stage: telemetry.StageRingWait, Name: h.plan.NF.String(),
+				Begin: tracer.TakeCursor(pkt.Meta.PID, pkt.Meta.Version, h.plan.ID),
 				TS:    t1,
 			})
 		}
@@ -234,61 +266,86 @@ func (n *nodeRT) ringWaitSpans(tracer *telemetry.Tracer, pkts []*packet.Packet) 
 // nfSpan records one packet's NF service span against the burst's
 // amortized invoke interval. Out of line for the same hot-loop code
 // size reason as ringWaitSpans.
-func (n *nodeRT) nfSpan(tracer *telemetry.Tracer, pkt *packet.Packet, t1, cursor int64) {
+func (s *segNF) nfSpan(tracer *telemetry.Tracer, pkt *packet.Packet, begin, end int64) {
 	tracer.RecordSpan(telemetry.TraceEvent{
 		PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
-		Stage: telemetry.StageNF, Name: n.plan.NF.String(),
-		Begin: t1, TS: cursor,
+		Stage: telemetry.StageNF, Name: s.plan.NF.String(),
+		Begin: begin, TS: end,
 	})
 }
 
+// processBurst handles one drained burst: for each NF of the segment
+// in order — one counter add for arrivals, one invocation (batched
+// when the NF supports it), one service-time sample (the burst's mean
+// per-packet time), per-verdict drops routed through that NF's own
+// drop target, and the surviving packets compacted in place on the
+// same burst buffer for the next NF. After the last NF the survivors
+// are forwarded through its forwarding table as one burst.
+//
+// With burst=1 and singleton segments this degenerates to exactly the
+// scalar per-packet pipelined path: every counter, histogram sample
+// and trace event lands with the same cardinality and values as the
+// pre-burst dataplane. Clock reads stay within the existing 2/burst
+// amortization: one boundary timestamp per NF (k+1 reads for a k-NF
+// segment, vs 2k pipelined), each serving as the previous NF's
+// service-span end and the next NF's begin, so sampled span chains
+// still tile exactly: ring-wait, then one service span per fused NF.
 func (n *nodeRT) processBurst(pkts []*packet.Packet) {
-	n.pktsIn.Add(uint64(len(pkts)))
 	tracer := n.server.tracer
 	var t1 int64
 	if tracer != nil {
 		t1 = n.ringWaitSpans(tracer, pkts)
 	}
-	start := time.Now()
-	if !n.invoke(pkts) {
-		// The NF panicked mid-burst: its verdicts (and any partial
-		// packet writes) are void. The burst is the failure unit — all
-		// its packets take the drop route back to the pool.
-		n.dropBurst(pkts, n.panicDrops, telemetry.StageNF, t1)
-		return
-	}
-	// One amortized histogram sample: the mean per-packet service time
-	// of the burst (identical to the scalar sample when the burst is 1).
-	n.svcTime.Record(time.Since(start).Nanoseconds() / int64(len(pkts)))
-
-	// One amortized post-invoke timestamp closes the service span of
-	// every sampled packet in the burst and becomes their ongoing
-	// cursor.
-	var cursor int64
-	if t1 != 0 {
-		cursor = time.Now().UnixNano()
-	}
-	pass := n.passBuf[:0]
-	dropped := 0
-	for i, pkt := range pkts {
-		if tracer.Sampled(pkt.Meta.PID) {
-			n.nfSpan(tracer, pkt, t1, cursor)
+	cursor := t1
+	prev := time.Now()
+	for si := range n.nfs {
+		s := &n.nfs[si]
+		s.pktsIn.Add(uint64(len(pkts)))
+		if !n.invoke(s, pkts) {
+			// The NF panicked mid-burst: its verdicts (and any partial
+			// packet writes) are void. The burst is the failure unit —
+			// all its live packets take this NF's drop route back to the
+			// pool.
+			n.dropBurst(s, pkts, s.panicDrops, telemetry.StageNF, cursor)
+			return
 		}
-		if n.verdicts[i] == nf.Drop {
-			dropped++
-			// §5.2 "ignore": skip the forwarding actions and convey the
-			// dropping intention (the packet reference rides along so the
-			// merger can release the buffer once all tails report).
-			n.server.deliverDrop(n.pr, n.plan.DropTo, pkt, cursor)
-			continue
+		// One amortized boundary timestamp per NF: the histogram sample
+		// is the burst's mean per-packet service time (identical to the
+		// scalar sample when the burst is 1), and the same read closes
+		// the sampled service spans.
+		now := time.Now()
+		s.svcTime.Record(now.Sub(prev).Nanoseconds() / int64(len(pkts)))
+		begin := cursor
+		if t1 != 0 {
+			cursor = now.UnixNano()
 		}
-		pass = append(pass, pkt)
+		prev = now
+		kept := 0
+		dropped := 0
+		for i, pkt := range pkts {
+			if tracer.Sampled(pkt.Meta.PID) {
+				s.nfSpan(tracer, pkt, begin, cursor)
+			}
+			if n.verdicts[i] == nf.Drop {
+				dropped++
+				// §5.2 "ignore": skip the forwarding actions and convey
+				// the dropping intention (the packet reference rides along
+				// so the merger can release the buffer once all tails
+				// report).
+				n.server.deliverDrop(n.pr, s.plan.DropTo, pkt, cursor)
+				continue
+			}
+			pkts[kept] = pkt
+			kept++
+		}
+		if dropped > 0 {
+			s.drops.Add(uint64(dropped))
+		}
+		if kept == 0 {
+			return
+		}
+		s.pktsOut.Add(uint64(kept))
+		pkts = pkts[:kept]
 	}
-	if dropped > 0 {
-		n.drops.Add(uint64(dropped))
-	}
-	if len(pass) > 0 {
-		n.pktsOut.Add(uint64(len(pass)))
-		n.server.execBurst(n.pr, n.plan.Next, pass, cursor)
-	}
+	n.server.execBurst(n.pr, n.tail().plan.Next, pkts, cursor)
 }

@@ -72,6 +72,14 @@ type Config struct {
 	// RestartBackoffMax (defaults 1ms and 250ms).
 	RestartBackoff    time.Duration
 	RestartBackoffMax time.Duration
+	// Fusion selects the execution engine: FusionOn (the default —
+	// FusionAuto resolves to it) fuses strictly sequential graph
+	// segments into single run-to-completion runtimes with no
+	// intermediate ring; FusionOff keeps the fully pipelined
+	// one-goroutine-per-NF layout. Both modes are observationally
+	// equivalent (see internal/equivalence); fusion only removes ring
+	// hops the graph structure proves redundant.
+	Fusion FusionMode
 }
 
 func (c *Config) setDefaults() {
@@ -120,12 +128,19 @@ func (c *Config) setDefaults() {
 	if c.RestartBackoffMax < c.RestartBackoff {
 		c.RestartBackoffMax = c.RestartBackoff
 	}
+	if c.Fusion == FusionAuto {
+		c.Fusion = FusionOn
+	}
 }
 
-// planRuntime is one installed service graph with its NF runtimes.
+// planRuntime is one installed service graph with its segment runtimes.
 type planRuntime struct {
-	plan  *Plan
-	nodes []*nodeRT
+	plan *Plan
+	// rts holds one runtime per fused segment (per NF when fusion is
+	// off); owner maps a plan node ID to the runtime executing it, so
+	// dispatch targets resolve to the ring-owning segment.
+	rts   []*nodeRT
+	owner []*nodeRT
 }
 
 // Server is one NFP server (Figure 3): shared memory pool, classifier,
@@ -222,48 +237,65 @@ func (s *Server) AddGraphInstances(mid uint32, g graph.Node, instances map[graph
 	if err != nil {
 		return err
 	}
-	pr := &planRuntime{plan: plan}
+	pr := &planRuntime{plan: plan, owner: make([]*nodeRT, len(plan.Nodes))}
 	shedSet := plan.ShedSet(s.cfg.NodePriority)
-	for i := range plan.Nodes {
-		pn := &plan.Nodes[i]
-		inst := instances[pn.NF]
-		if inst == nil {
-			inst, err = s.cfg.Registry.New(pn.NF.Name)
-			if err != nil {
-				return fmt.Errorf("dataplane: node %v: %w", pn.NF, err)
-			}
-		}
-		labels := []telemetry.Label{
-			telemetry.L("nf", pn.NF.String()),
-			telemetry.L("mid", strconv.FormatUint(uint64(mid), 10)),
-		}
+	// Segment layout: the shed-lowest-priority policy sheds into
+	// specific rings, so its shed set is an isolation boundary the
+	// fusion pass must not erase.
+	var barrier []bool
+	if s.cfg.RingPolicy == BPShedLowestPriority {
+		barrier = shedSet
+	}
+	var segs [][]int
+	if s.cfg.Fusion.enabled() {
+		segs = plan.FusedSegments(barrier)
+	} else {
+		segs = singletonSegments(len(plan.Nodes))
+	}
+	midLabel := telemetry.L("mid", strconv.FormatUint(uint64(mid), 10))
+	for _, seg := range segs {
+		head := &plan.Nodes[seg[0]]
+		headLabels := []telemetry.Label{telemetry.L("nf", head.NF.String()), midLabel}
 		n := &nodeRT{
-			plan:          pn,
+			nfs:           make([]segNF, len(seg)),
 			rx:            ring.NewMPSC(s.cfg.RingSize),
 			server:        s,
 			pr:            pr,
-			canShed:       s.cfg.RingPolicy == BPDropTail || (s.cfg.RingPolicy == BPShedLowestPriority && shedSet[i]),
+			canShed:       s.cfg.RingPolicy == BPDropTail || (s.cfg.RingPolicy == BPShedLowestPriority && shedSet[seg[0]]),
 			shedImmediate: s.cfg.RingPolicy == BPDropTail,
 			burst:         make([]*packet.Packet, s.cfg.Burst),
 			verdicts:      make([]nf.Verdict, s.cfg.Burst),
-			passBuf:       make([]*packet.Packet, 0, s.cfg.Burst),
-			pktsIn:        s.tel.Counter("nfp_nf_packets_in_total", labels...),
-			pktsOut:       s.tel.Counter("nfp_nf_packets_out_total", labels...),
-			drops:         s.tel.Counter("nfp_nf_drops_total", labels...),
-			sheds:         s.tel.Counter("nfp_nf_ring_sheds_total", labels...),
-			panics:        s.tel.Counter("nfp_nf_panics_total", labels...),
-			panicDrops:    s.tel.Counter("nfp_nf_panic_drops_total", labels...),
-			unhealthyDry:  s.tel.Counter("nfp_nf_unhealthy_drops_total", labels...),
-			restarts:      s.tel.Counter("nfp_nf_restarts_total", labels...),
-			restartFails:  s.tel.Counter("nfp_nf_restart_failures_total", labels...),
-			healthyG:      s.tel.Gauge("nfp_nf_healthy", labels...),
-			svcTime:       s.tel.Histogram("nfp_nf_service_time_ns", labels...),
-			ringHW:        s.tel.Gauge("nfp_nf_ring_high_water", labels...),
+			sheds:         s.tel.Counter("nfp_nf_ring_sheds_total", headLabels...),
+			ringHW:        s.tel.Gauge("nfp_nf_ring_high_water", headLabels...),
 		}
-		n.instP.Store(&instBox{nf: inst})
+		for k, id := range seg {
+			pn := &plan.Nodes[id]
+			inst := instances[pn.NF]
+			if inst == nil {
+				inst, err = s.cfg.Registry.New(pn.NF.Name)
+				if err != nil {
+					return fmt.Errorf("dataplane: node %v: %w", pn.NF, err)
+				}
+			}
+			labels := []telemetry.Label{telemetry.L("nf", pn.NF.String()), midLabel}
+			sn := &n.nfs[k]
+			sn.plan = pn
+			sn.pktsIn = s.tel.Counter("nfp_nf_packets_in_total", labels...)
+			sn.pktsOut = s.tel.Counter("nfp_nf_packets_out_total", labels...)
+			sn.drops = s.tel.Counter("nfp_nf_drops_total", labels...)
+			sn.panics = s.tel.Counter("nfp_nf_panics_total", labels...)
+			sn.panicDrops = s.tel.Counter("nfp_nf_panic_drops_total", labels...)
+			sn.unhealthyDry = s.tel.Counter("nfp_nf_unhealthy_drops_total", labels...)
+			sn.restarts = s.tel.Counter("nfp_nf_restarts_total", labels...)
+			sn.restartFails = s.tel.Counter("nfp_nf_restart_failures_total", labels...)
+			sn.healthyG = s.tel.Gauge("nfp_nf_healthy", labels...)
+			sn.svcTime = s.tel.Histogram("nfp_nf_service_time_ns", labels...)
+			sn.instP.Store(&instBox{nf: inst})
+			sn.healthyG.Set(1)
+			pr.owner[id] = n
+		}
 		n.healthy.Store(true)
-		n.healthyG.Set(1)
-		pr.nodes = append(pr.nodes, n)
+		pr.rts = append(pr.rts, n)
 	}
 
 	s.plansMu.Lock()
@@ -291,9 +323,9 @@ func (s *Server) AddGraphInstances(mid uint32, g graph.Node, instances map[graph
 	return nil
 }
 
-// startRuntimes launches the NF runtime goroutines of one plan.
+// startRuntimes launches the segment runtime goroutines of one plan.
 func (s *Server) startRuntimes(pr *planRuntime) {
-	for _, n := range pr.nodes {
+	for _, n := range pr.rts {
 		s.wg.Add(1)
 		go func(n *nodeRT) {
 			defer s.wg.Done()
@@ -357,7 +389,7 @@ func (s *Server) supervise() {
 		time.Sleep(interval)
 		now := time.Now().UnixNano()
 		for _, pr := range *s.plans.Load() {
-			for _, n := range pr.nodes {
+			for _, n := range pr.rts {
 				n.maybeRestart(now)
 			}
 		}
@@ -438,18 +470,20 @@ func (s *Server) InjectBatch(pkts []*packet.Packet) int {
 	plans := *s.plans.Load()
 
 	// Second stable partition: classified MIDs whose graph is not (yet)
-	// installed are rejected too, exactly like scalar Inject.
-	var rejects []*packet.Packet
+	// installed are rejected too, exactly like scalar Inject. Same
+	// in-place rotation as ClassifyBatch, so this path is alloc-free.
 	n := 0
 	for i := 0; i < classified; i++ {
-		if plans[pkts[i].Meta.MID] == nil {
-			rejects = append(rejects, pkts[i])
+		p := pkts[i]
+		if plans[p.Meta.MID] == nil {
 			continue
 		}
-		pkts[n] = pkts[i]
+		if n < i {
+			copy(pkts[n+1:i+1], pkts[n:i])
+		}
+		pkts[n] = p
 		n++
 	}
-	copy(pkts[n:], rejects)
 
 	// Fan out runs of packets sharing a MID (and therefore a first hop)
 	// as one burst each.
@@ -571,7 +605,7 @@ func (s *Server) execBurst(pr *planRuntime, ds []Dispatch, pkts []*packet.Packet
 	if len(ds) == 1 && ds[0].NewVersion == 0 &&
 		len(ds[0].Targets) == 1 && ds[0].Targets[0].Kind == ToNode &&
 		len(pkts) > 0 && pkts[0].Meta.Version == ds[0].SrcVersion {
-		s.ringPush(pr, pr.nodes[ds[0].Targets[0].Node], pkts, cursor)
+		s.ringPush(pr, pr.owner[ds[0].Targets[0].Node], pkts, cursor)
 		return
 	}
 	for _, pkt := range pkts {
@@ -608,7 +642,7 @@ func (s *Server) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped 
 	case ToNode:
 		var one [1]*packet.Packet
 		one[0] = pkt
-		s.ringPush(pr, pr.nodes[t.Node], one[:], cursor)
+		s.ringPush(pr, pr.owner[t.Node], one[:], cursor)
 	case ToJoin:
 		// Merger agent (§5.3): hash the immutable PID to pick the
 		// merger instance, so all copies of one packet meet at the
@@ -689,9 +723,11 @@ func (s *Server) Stats() Stats {
 		Pool:        s.pool.Stats(),
 	}
 	for _, pr := range *s.plans.Load() {
-		for _, n := range pr.nodes {
-			st.Panics += n.panics.Value()
-			st.Restarts += n.restarts.Value()
+		for _, n := range pr.rts {
+			for i := range n.nfs {
+				st.Panics += n.nfs[i].panics.Value()
+				st.Restarts += n.nfs[i].restarts.Value()
+			}
 		}
 	}
 	for _, m := range s.mergers {
@@ -715,9 +751,11 @@ func (s *Server) NodeRuntime(mid uint32, node graph.NF) (nf.NF, bool) {
 	if pr == nil {
 		return nil, false
 	}
-	for _, n := range pr.nodes {
-		if n.plan.NF == node {
-			return n.inst(), true
+	for _, n := range pr.rts {
+		for i := range n.nfs {
+			if n.nfs[i].plan.NF == node {
+				return n.nfs[i].inst(), true
+			}
 		}
 	}
 	return nil, false

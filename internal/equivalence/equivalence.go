@@ -29,6 +29,7 @@ import (
 
 	"nfp/internal/core"
 	"nfp/internal/dataplane"
+	"nfp/internal/faultinject"
 	"nfp/internal/graph"
 	"nfp/internal/nf"
 	"nfp/internal/nfa"
@@ -243,19 +244,51 @@ func (t *Trial) Execute(g graph.Node, n int, trafficSeed int64) (*RunResult, err
 // results (outputs by PID, drops, digests, copies) must not depend on
 // the burst size; the differential tests hold this harness to that.
 func (t *Trial) ExecuteBurst(g graph.Node, n int, trafficSeed int64, burst int) (*RunResult, error) {
+	res, _, err := t.ExecuteOpts(g, n, trafficSeed, ExecOptions{Burst: burst})
+	return res, err
+}
+
+// ExecOptions pins the execution-engine knobs of an ExecuteOpts run.
+type ExecOptions struct {
+	// Burst is the dataplane burst size (<=1 runs the scalar path).
+	Burst int
+	// Fusion selects the execution engine (FusionAuto = server
+	// default). Fused and pipelined runs of the same trial and seed
+	// must be observationally identical — the fusion differential
+	// tests hold the engine to that.
+	Fusion dataplane.FusionMode
+	// PanicNF, when non-empty, wraps that synthetic NF in a fault
+	// injector that panics once, at the PanicAt-th packet it sees, so
+	// crash recovery can be exercised under either engine. Runs with a
+	// panic are compared on conservation laws, not digests: the drop
+	// window depends on runtime timing.
+	PanicNF string
+	PanicAt uint64
+}
+
+// ExecuteOpts replays n deterministic packets (seeded by trafficSeed)
+// through g with the execution engine pinned by opts, and returns the
+// run observations plus the server's stats snapshot. It fails if the
+// pool leaks buffers after the drained stop.
+func (t *Trial) ExecuteOpts(g graph.Node, n int, trafficSeed int64, opts ExecOptions) (*RunResult, dataplane.Stats, error) {
+	burst := opts.Burst
 	instances := map[graph.NF]nf.NF{}
 	syns := map[string]*SynNF{}
 	for name, prof := range t.Profiles {
 		s := NewSynNF(name, prof)
 		syns[name] = s
-		instances[graph.NF{Name: name}] = s
+		if name == opts.PanicNF {
+			instances[graph.NF{Name: name}] = faultinject.NewPanicNF(s, opts.PanicAt)
+		} else {
+			instances[graph.NF{Name: name}] = s
+		}
 	}
-	srv := dataplane.New(dataplane.Config{PoolSize: 512, Mergers: 2, Burst: burst})
+	srv := dataplane.New(dataplane.Config{PoolSize: 512, Mergers: 2, Burst: burst, Fusion: opts.Fusion})
 	if err := srv.AddGraphInstances(1, g, instances); err != nil {
-		return nil, err
+		return nil, dataplane.Stats{}, err
 	}
 	if err := srv.Start(); err != nil {
-		return nil, err
+		return nil, dataplane.Stats{}, err
 	}
 	res := &RunResult{Outputs: map[uint64][]byte{}, Digests: map[string]uint64{}}
 	done := make(chan struct{})
@@ -275,7 +308,7 @@ func (t *Trial) ExecuteBurst(g graph.Node, n int, trafficSeed int64, burst int) 
 			}
 			buildRandomPacket(pkt, rng)
 			if !srv.Inject(pkt) {
-				return nil, fmt.Errorf("classification failed")
+				return nil, dataplane.Stats{}, fmt.Errorf("classification failed")
 			}
 		}
 	} else {
@@ -295,7 +328,7 @@ func (t *Trial) ExecuteBurst(g graph.Node, n int, trafficSeed int64, burst int) 
 				buildRandomPacket(batch[j], rng)
 			}
 			if acc := srv.InjectBatch(batch[:got]); acc != got {
-				return nil, fmt.Errorf("batch classification failed: %d of %d", acc, got)
+				return nil, dataplane.Stats{}, fmt.Errorf("batch classification failed: %d of %d", acc, got)
 			}
 			i += got
 		}
@@ -308,7 +341,10 @@ func (t *Trial) ExecuteBurst(g graph.Node, n int, trafficSeed int64, burst int) 
 	for name, s := range syns {
 		res.Digests[name] = s.Digest()
 	}
-	return res, nil
+	if leak := srv.Pool().InUse(); leak != 0 {
+		return nil, st, fmt.Errorf("pool leak after drained stop: %d buffers", leak)
+	}
+	return res, st, nil
 }
 
 // OverloadSpec shapes an ExecuteOverload run: an intentionally
@@ -319,6 +355,9 @@ type OverloadSpec struct {
 	Policy    dataplane.BackpressurePolicy
 	SpinLimit int
 	Burst     int
+	// Fusion selects the execution engine (FusionAuto = server
+	// default); the overload conservation law must hold under both.
+	Fusion dataplane.FusionMode
 }
 
 // ExecuteOverload replays n deterministic packets through g with the
@@ -342,6 +381,7 @@ func (t *Trial) ExecuteOverload(g graph.Node, n int, trafficSeed int64, spec Ove
 		RingSize:   spec.RingSize,
 		RingPolicy: spec.Policy,
 		SpinLimit:  spec.SpinLimit,
+		Fusion:     spec.Fusion,
 	})
 	if err := srv.AddGraphInstances(1, g, instances); err != nil {
 		return nil, dataplane.Stats{}, err

@@ -264,3 +264,128 @@ func TestGenProfileAlwaysValid(t *testing.T) {
 }
 
 func netipAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// TestFusionEquivalenceProperty holds the fused run-to-completion
+// engine to the full §4.1 standard: over random chains of random
+// synthetic NFs, on both the sequential compilation (which fuses into
+// one segment) and the parallelized one (rings survive at every
+// branch and join), at burst 1 and 32, the fused execution must be
+// observationally identical to the pipelined one — same output bytes
+// per PID, same drops, same per-NF observation digests, same copies.
+func TestFusionEquivalenceProperty(t *testing.T) {
+	trials := 12
+	packets := 200
+	if testing.Short() {
+		trials = 4
+		packets = 80
+	}
+	rng := rand.New(rand.NewSource(20260807))
+	for i := 0; i < trials; i++ {
+		trial, err := NewTrial(rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		seed := int64(7000 + i)
+		for _, burst := range []int{1, 32} {
+			for gi, g := range []graph.Node{trial.SeqGraph, trial.ParGraph} {
+				pipelined, _, err := trial.ExecuteOpts(g, packets, seed, ExecOptions{
+					Burst: burst, Fusion: dataplane.FusionOff,
+				})
+				if err != nil {
+					t.Fatalf("trial %d burst %d graph %d pipelined: %v", i, burst, gi, err)
+				}
+				fused, _, err := trial.ExecuteOpts(g, packets, seed, ExecOptions{
+					Burst: burst, Fusion: dataplane.FusionOn,
+				})
+				if err != nil {
+					t.Fatalf("trial %d burst %d graph %d fused: %v", i, burst, gi, err)
+				}
+				if diffs := Compare(pipelined, fused); len(diffs) != 0 {
+					t.Errorf("trial %d burst %d graph %d: fused NOT equivalent to pipelined\nchain: %v\nviolations: %v",
+						i, burst, gi, trial.Chain, diffs)
+				}
+				if pipelined.Copies != fused.Copies {
+					t.Errorf("trial %d burst %d graph %d: copies differ: pipelined=%d fused=%d",
+						i, burst, gi, pipelined.Copies, fused.Copies)
+				}
+			}
+		}
+	}
+}
+
+// TestFusionPanicConservation injects a one-shot panic into a
+// mid-chain synthetic NF and runs the same trial under both engines:
+// the crash window makes digests timing-dependent, so the property
+// held here is the conservation law — every injected packet surfaces
+// as an output or a drop, with no pool leak (ExecuteOpts fails the
+// run on one), under the pipelined and the fused crash boundary alike.
+func TestFusionPanicConservation(t *testing.T) {
+	trials := 6
+	packets := 200
+	if testing.Short() {
+		trials = 2
+		packets = 80
+	}
+	rng := rand.New(rand.NewSource(20260808))
+	for i := 0; i < trials; i++ {
+		trial, err := NewTrial(rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		panicNF := trial.Chain[len(trial.Chain)/2]
+		for _, fusion := range []dataplane.FusionMode{dataplane.FusionOff, dataplane.FusionOn} {
+			for _, burst := range []int{1, 32} {
+				_, st, err := trial.ExecuteOpts(trial.SeqGraph, packets, int64(8000+i), ExecOptions{
+					Burst: burst, Fusion: fusion, PanicNF: panicNF, PanicAt: 10,
+				})
+				if err != nil {
+					t.Fatalf("trial %d fusion=%v burst %d: %v", i, fusion, burst, err)
+				}
+				if st.Injected != uint64(packets) || st.Outputs+st.Drops != st.Injected {
+					t.Errorf("trial %d fusion=%v burst %d: conservation broken: injected=%d outputs=%d drops=%d",
+						i, fusion, burst, st.Injected, st.Outputs, st.Drops)
+				}
+				if st.Panics != 1 {
+					t.Errorf("trial %d fusion=%v burst %d: panics=%d, want 1", i, fusion, burst, st.Panics)
+				}
+			}
+		}
+	}
+}
+
+// TestFusionOverloadConservation runs the overload property under the
+// fused engine for every backpressure policy: whatever the shed/block
+// behavior, Injected == Outputs + Drops holds exactly and nothing
+// leaks, with fusion on as with fusion off.
+func TestFusionOverloadConservation(t *testing.T) {
+	trials := 6
+	packets := 300
+	if testing.Short() {
+		trials = 2
+		packets = 120
+	}
+	rng := rand.New(rand.NewSource(20260809))
+	policies := []dataplane.BackpressurePolicy{
+		dataplane.BPBlock, dataplane.BPDropTail, dataplane.BPShedLowestPriority,
+	}
+	for i := 0; i < trials; i++ {
+		trial, err := NewTrial(rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		for _, pol := range policies {
+			for _, fusion := range []dataplane.FusionMode{dataplane.FusionOff, dataplane.FusionOn} {
+				_, st, err := trial.ExecuteOverload(trial.SeqGraph, packets, int64(9000+i), OverloadSpec{
+					RingSize: 8, Policy: pol, Burst: 16, Fusion: fusion,
+				})
+				if err != nil {
+					t.Fatalf("trial %d policy=%v fusion=%v: %v", i, pol, fusion, err)
+				}
+				if st.Injected != uint64(packets) || st.Outputs+st.Drops != st.Injected {
+					t.Errorf("trial %d policy=%v fusion=%v: conservation broken: injected=%d outputs=%d drops=%d sheds=%d",
+						i, pol, fusion, st.Injected, st.Outputs, st.Drops, st.Sheds)
+				}
+			}
+		}
+	}
+}

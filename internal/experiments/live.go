@@ -85,6 +85,10 @@ type LiveOptions struct {
 	// RingSize overrides the per-NF receive ring capacity (0 keeps the
 	// dataplane default); small rings surface overload sooner.
 	RingSize int
+	// Fusion selects the execution engine (see dataplane.Config.Fusion):
+	// the zero value resolves to fused run-to-completion segments,
+	// dataplane.FusionOff pins one ring per NF.
+	Fusion dataplane.FusionMode
 }
 
 // LiveRegistry, when non-nil, supplies NF factories to the live runs
@@ -126,6 +130,7 @@ func RunLiveGraphOpts(g graph.Node, n int, gen *trafficgen.Generator, opts LiveO
 		SpinLimit:       opts.SpinLimit,
 		NodePriority:    opts.NodePriority,
 		RingSize:        opts.RingSize,
+		Fusion:          opts.Fusion,
 	})
 	if err := srv.AddGraph(1, g); err != nil {
 		return LiveResult{}, err

@@ -123,10 +123,10 @@ type SpansDump struct {
 //	/debug/spans         per-PID span groups (?format=chrome for the
 //	                     Chrome trace-event JSON export)
 //	/debug/criticalpath  per-MID latency attribution + parallel speedup
-//	/debug/pprof/...     the standard profiles, when withPprof is set
+//	/debug/pprof/...     the standard Go profiles (always mounted)
 //
 // reg and tr may be nil (empty sections).
-func Handler(reg *Registry, tr *Tracer, withPprof bool) http.Handler {
+func Handler(reg *Registry, tr *Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -155,13 +155,11 @@ func Handler(reg *Registry, tr *Tracer, withPprof bool) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(BuildCriticalPathReport(tr.Events()))
 	})
-	if withPprof {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -169,12 +167,12 @@ func Handler(reg *Registry, tr *Tracer, withPprof bool) http.Handler {
 // returns the server (for Close/Shutdown) and the bound address — so
 // ":0" callers learn their port. Errors after binding are the server's
 // to log; binding errors return immediately.
-func Serve(addr string, reg *Registry, tr *Tracer, withPprof bool) (*http.Server, string, error) {
+func Serve(addr string, reg *Registry, tr *Tracer) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg, tr, withPprof)}
+	srv := &http.Server{Handler: Handler(reg, tr)}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr().String(), nil
 }

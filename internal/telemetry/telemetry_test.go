@@ -192,7 +192,7 @@ func TestHTTPHandler(t *testing.T) {
 	tr := NewTracer(1, 16)
 	tr.Record(7, 1, StageClassify, "classifier", 100)
 	tr.Record(7, 1, StageOutput, "", 200)
-	srv := httptest.NewServer(Handler(r, tr, false))
+	srv := httptest.NewServer(Handler(r, tr))
 	defer srv.Close()
 
 	resp, err := srv.Client().Get(srv.URL + "/metrics")
