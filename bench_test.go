@@ -11,6 +11,7 @@ import (
 	"net/netip"
 	"runtime"
 	"testing"
+	"time"
 
 	"nfp/internal/baseline/onvm"
 	"nfp/internal/baseline/rtc"
@@ -22,6 +23,8 @@ import (
 	"nfp/internal/nfa"
 	"nfp/internal/packet"
 	"nfp/internal/policy"
+	"nfp/internal/telemetry"
+	"nfp/internal/telemetry/diagnose"
 )
 
 // benchSpec is the 64B-class packet used by the paper's latency runs.
@@ -244,6 +247,36 @@ func BenchmarkFig7_NFP_SeqChain5_Burst1(b *testing.B) {
 func BenchmarkFig7_NFP_SeqChain5_Burst32(b *testing.B) {
 	benchNFPGraphBurst(b, seqGraph(nfa.NFL3Fwd, 5), 32, "x")
 }
+// BenchmarkFig7_NFP_SeqChain5_Burst32_Diagnose is the tracked Burst32
+// benchmark with the full diagnosis layer live at nfpd's defaults:
+// classifier-fed top-K flow sketch and sampled e2e latency histogram
+// (both 1/64 PID-mask sampled), plus a background sampler snapshotting
+// the registry every 10ms. Its ns/op must stay within ~2% of the plain
+// Burst32 run — the observability tax is the point of the measurement
+// (ci.sh bench-compare reports the delta). This traffic is the sketch's
+// worst case: ~every sampled packet is a distinct flow, so each one
+// takes the eviction path.
+func BenchmarkFig7_NFP_SeqChain5_Burst32_Diagnose(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	sketch := diagnose.NewTopK(16)
+	srv := dataplane.New(dataplane.Config{
+		PoolSize: 2048, Mergers: 2, Burst: 32,
+		Telemetry:     reg,
+		FlowAccount:   sketch, // FlowSampleRate: default 64
+		E2ESampleRate: 64,
+	})
+	if err := srv.AddGraph(1, seqGraph(nfa.NFL3Fwd, 5)); err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	d := diagnose.New(diagnose.Config{Registry: reg, Interval: 10 * time.Millisecond})
+	d.Start()
+	defer d.Stop()
+	pumpBurst(b, srv, 32, "x")
+}
+
 func BenchmarkFig13_NorthSouth_Burst1(b *testing.B) {
 	res, err := core.Compile(policy.FromChain(nfa.NFVPN, nfa.NFMonitor, nfa.NFFirewall, nfa.NFLB), nil, core.Options{})
 	if err != nil {

@@ -21,6 +21,13 @@
 #                    subcommands against an in-process chain, including
 #                    a Chrome trace export (schema is gated by the
 #                    golden test in the blocking job).
+#   ./ci.sh diagnose — the diagnosis smoke: boots nfpd with live
+#                    traffic and the diagnosis layer on, curls
+#                    /debug/health and /debug/topflows, asserts the
+#                    JSON is well-formed and health left "unknown",
+#                    exercises nfpinspect health/top/metrics against
+#                    the live server, then reports the _Diagnose
+#                    benchmark's observability tax (non-gating).
 set -eux
 
 if [ "${1:-}" = "trace" ]; then
@@ -31,6 +38,62 @@ if [ "${1:-}" = "trace" ]; then
     "$bin/nfpinspect" trace -chain ids,monitor,lb -packets 500 -chrome "$bin/trace.json" -max 0 >/dev/null
     test -s "$bin/trace.json"
     "$bin/nfpinspect" criticalpath -chain ids,monitor,lb -packets 500
+    exit 0
+fi
+
+if [ "${1:-}" = "diagnose" ]; then
+    bin="$(mktemp -d)"
+    log="$bin/nfpd.log"
+    pid=""
+    trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null; rm -rf "$bin"' EXIT
+    go build -o "$bin/nfpd" ./cmd/nfpd
+    go build -o "$bin/nfpinspect" ./cmd/nfpinspect
+    # A Zipf-skewed run large enough to span several sampling windows;
+    # -telemetry-addr keeps the server up after the traffic drains.
+    "$bin/nfpd" -chain ids,monitor,lb -packets 200000 -seed 42 -zipf 1.4 \
+        -telemetry-addr 127.0.0.1:0 -diagnose-interval 50ms -slo-p99 50ms \
+        >"$log" 2>&1 &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's|^telemetry: *http://\([^/]*\)/metrics.*|\1|p' "$log")"
+        [ -n "$addr" ] && break
+        kill -0 "$pid" 2>/dev/null || { cat "$log"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { cat "$log"; exit 1; }
+    sleep 1 # let the sampler close a few windows over the live run
+    curl -fsS "http://$addr/debug/health" > "$bin/health.json"
+    curl -fsS "http://$addr/debug/topflows" > "$bin/topflows.json"
+    python3 - "$bin/health.json" "$bin/topflows.json" <<'EOF'
+import json, sys
+health = json.load(open(sys.argv[1]))
+top = json.load(open(sys.argv[2]))
+assert health["state"] in ("ok", "degraded", "overloaded"), health
+assert health["samples"] >= 2, health
+assert health.get("bottlenecks"), "no NFs ranked"
+assert top["k"] > 0 and top["total_pkts"] > 0, top
+assert top["flows"], "no flows tracked"
+print("health:", health["state"],
+      "| top flow share: %.1f%%" % (100 * top["flows"][0]["pkts"] / top["total_pkts"]))
+EOF
+    "$bin/nfpinspect" health -addr "$addr"
+    "$bin/nfpinspect" top -addr "$addr" -n 5
+    "$bin/nfpinspect" metrics -addr "$addr" >/dev/null
+    kill "$pid" && wait "$pid" || { cat "$log"; exit 1; }
+    pid=""
+    # Non-gating: the diagnosis layer's tax on the tracked Burst32
+    # benchmark (sketch + e2e sampling + background sampler).
+    go test -run '^$' -bench 'Fig7_NFP_SeqChain5_Burst32(_Diagnose)?$' \
+        -benchtime "${BENCH_TIME:-1s}" . | awk '
+        $1 ~ /^BenchmarkFig7_NFP_SeqChain5_Burst32(-[0-9]+)?$/ { base = $3 }
+        $1 ~ /^BenchmarkFig7_NFP_SeqChain5_Burst32_Diagnose(-[0-9]+)?$/ { diag = $3 }
+        END {
+            if (base > 0 && diag > 0)
+                printf "diagnosis tax: %.1f -> %.1f ns/op (%+.1f%%; non-gating)\n", \
+                    base, diag, 100 * (diag - base) / base
+        }
+    '
     exit 0
 fi
 

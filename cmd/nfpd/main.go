@@ -8,6 +8,7 @@
 //	nfpd -policy chain.pol -packets 50000 -size dc
 //	nfpd -chain monitor,firewall -baseline onvm
 //	nfpd -chain ids,monitor,lb -telemetry-addr :9090 -trace-sample 64
+//	nfpd -chain ids,monitor,lb -diagnose-interval 1s -slo-p99 2ms -zipf 1.3
 //
 // With -telemetry-addr the process keeps serving metrics after the
 // traffic run finishes, until interrupted. nfpd exits non-zero when the
@@ -17,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -34,6 +36,7 @@ import (
 	"nfp/internal/pcap"
 	"nfp/internal/policy"
 	"nfp/internal/telemetry"
+	"nfp/internal/telemetry/diagnose"
 	"nfp/internal/trafficgen"
 )
 
@@ -72,6 +75,17 @@ func run() int {
 		"bounded-spin yields before a full-ring producer parks or sheds")
 	ringSize := flag.Int("ring-size", 0,
 		"per-NF receive ring capacity (0 = dataplane default; small rings surface overload sooner)")
+	diagInterval := flag.Duration("diagnose-interval", 0,
+		"sample telemetry at this interval for live bottleneck diagnosis (0 = off; serves /debug/health and /debug/topflows)")
+	sloP99 := flag.Duration("slo-p99", 0,
+		"per-chain p99 latency objective for the health verdict (0 = no SLO; implies e2e latency sampling)")
+	topK := flag.Int("topk", 16, "heavy-hitter sketch capacity (flows tracked by /debug/topflows)")
+	flowSample := flag.Int("flow-sample", 64,
+		"feed the heavy-hitter sketch from ~1/N classified packets (rounded down to a power of two)")
+	e2eSample := flag.Int("e2e-sample", 64,
+		"record end-to-end latency for ~1/N packets when diagnosis is on (rounded down to a power of two)")
+	zipf := flag.Float64("zipf", 0,
+		"skew the flow mix with a Zipf(s) popularity draw instead of round-robin (0 = round-robin; try 1.2-2)")
 	flag.Parse()
 
 	if *seed == 0 {
@@ -85,7 +99,7 @@ func run() int {
 	if err != nil {
 		fail(err)
 	}
-	gen := trafficgen.New(trafficgen.Config{Flows: *flows, Sizes: sizes, Seed: *seed})
+	gen := trafficgen.New(trafficgen.Config{Flows: *flows, Sizes: sizes, Seed: *seed, Zipf: *zipf})
 
 	switch *baseline {
 	case "onvm":
@@ -171,19 +185,54 @@ func run() int {
 		opts.Tap = func(p *packet.Packet) { _ = w.WritePacket(time.Now(), p.Bytes()) }
 		defer func() { fmt.Printf("  pcap:            %d packets -> %s\n", w.Packets(), *pcapPath) }()
 	}
-	if *telemetryAddr != "" {
+	var diag *diagnose.Diagnoser
+	if *telemetryAddr != "" || *diagInterval > 0 {
 		// The registry outlives the run so /metrics stays truthful after
-		// the traffic stops. The HTTP server binds from the OnServer
-		// hook — after the dataplane starts (so the handler can reach
-		// its tracer) but before the first packet is injected, so the
-		// endpoint observes the run live.
+		// the traffic stops.
 		opts.Telemetry = telemetry.NewRegistry()
+	}
+	if *diagInterval > 0 {
+		// Diagnosis layers on the registry: the classifier feeds the
+		// heavy-hitter sketch, the delivery path records sampled e2e
+		// latency, and a background sampler turns snapshot deltas into
+		// utilization and health verdicts.
+		sketch := diagnose.NewTopK(*topK)
+		opts.FlowAccount = sketch
+		opts.FlowSampleRate = *flowSample
+		opts.E2ESampleRate = *e2eSample
+		diag = diagnose.New(diagnose.Config{
+			Registry:     opts.Telemetry,
+			Interval:     *diagInterval,
+			SLOTargetP99: *sloP99,
+			TopK:         sketch,
+		})
+		fmt.Printf("diagnosis:         sampling every %v (flow 1/%d, e2e 1/%d, top-%d sketch)\n",
+			*diagInterval, *flowSample, *e2eSample, *topK)
+	}
+	if *telemetryAddr != "" || *diagInterval > 0 {
+		// The HTTP server binds from the OnServer hook — after the
+		// dataplane starts (so the handler can reach its tracer) but
+		// before the first packet is injected, so the endpoint observes
+		// the run live.
+		bindAddr := *telemetryAddr
+		if bindAddr == "" {
+			bindAddr = "127.0.0.1:0"
+		}
 		opts.OnServer = func(s *dataplane.Server) {
-			_, bound, err := telemetry.Serve(*telemetryAddr, opts.Telemetry, s.Tracer())
+			var extra map[string]http.Handler
+			if diag != nil {
+				extra = diag.Handlers()
+				diag.SampleNow() // open the window before the first packet
+				diag.Start()
+			}
+			_, bound, err := telemetry.ServeWith(bindAddr, opts.Telemetry, s.Tracer(), extra)
 			if err != nil {
 				fail(err)
 			}
 			fmt.Printf("telemetry:         http://%s/metrics (and /debug/telemetry, /debug/spans, /debug/criticalpath, /debug/pprof)\n", bound)
+			if diag != nil {
+				fmt.Printf("diagnosis:         http://%s/debug/health and /debug/topflows\n", bound)
+			}
 		}
 	}
 	live, err := experiments.RunLiveGraphOpts(res.Graph, *packets, gen, opts)
@@ -200,13 +249,45 @@ func run() int {
 	if *traceSample > 0 {
 		fmt.Printf("  traced packets:  %d hop events retained\n", len(live.Traces))
 	}
+	if diag != nil {
+		diag.SampleNow() // close the window on the run's final state
+		reportHealth(diag)
+	}
 	if *telemetryAddr != "" {
 		fmt.Printf("telemetry:         serving until interrupted (Ctrl-C to exit)\n")
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 	}
+	if diag != nil {
+		diag.Stop()
+	}
 	return live.PoolLeak
+}
+
+// reportHealth prints the end-of-run diagnosis verdict: overall health,
+// the reasons it is not ok, and the utilization ranking.
+func reportHealth(d *diagnose.Diagnoser) {
+	rep := d.Report()
+	fmt.Printf("\nhealth: %s (window %.1fs, %d samples)\n", rep.State, rep.WindowSeconds, rep.Samples)
+	for _, r := range rep.Reasons {
+		fmt.Printf("  reason:          %s\n", r)
+	}
+	for i, b := range rep.Bottlenecks {
+		if i == 3 {
+			fmt.Printf("  ... (%d more NFs)\n", len(rep.Bottlenecks)-i)
+			break
+		}
+		fmt.Printf("  bottleneck #%d:   %s\n", i+1, b.Verdict)
+	}
+	for _, s := range rep.SLO {
+		status := "met"
+		if !s.Met {
+			status = "MISSED"
+		}
+		fmt.Printf("  slo mid=%s:       p99 %.1fµs vs target %.1fµs — %s (burn %.1fx)\n",
+			s.MID, float64(s.WindowP99NS)/1e3, float64(s.TargetP99NS)/1e3, status, s.BurnRate)
+	}
 }
 
 func report(label string, r experiments.LiveResult) {

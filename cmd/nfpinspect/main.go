@@ -12,6 +12,9 @@
 //	nfpinspect trace -chain ids,monitor,lb -packets 500
 //	nfpinspect trace -addr localhost:9090 -chrome trace.json
 //	nfpinspect criticalpath -chain ids,monitor,lb -packets 2000
+//	nfpinspect health -addr localhost:9090
+//	nfpinspect top -chain ids,monitor,lb -zipf 1.5
+//	nfpinspect metrics -addr localhost:9090 -watch 2s
 package main
 
 import (
@@ -34,6 +37,12 @@ func main() {
 			return
 		case "criticalpath":
 			criticalPathCmd(os.Args[2:])
+			return
+		case "health":
+			healthCmd(os.Args[2:])
+			return
+		case "top":
+			topCmd(os.Args[2:])
 			return
 		}
 	}

@@ -28,7 +28,17 @@ func metricsCmd(args []string) {
 	seed := fs.Int64("seed", 1, "traffic seed for the in-process run")
 	traceSample := fs.Int("trace-sample", 0, "trace ~1/N packets during the in-process run")
 	asJSON := fs.Bool("json", false, "emit the raw JSON dump instead of the table")
+	watch := fs.Duration("watch", 0, "re-poll -addr at this interval and print counter deltas (requires -addr)")
 	_ = fs.Parse(args)
+
+	if *watch > 0 {
+		if *addr == "" {
+			fmt.Fprintln(os.Stderr, "nfpinspect metrics: -watch requires -addr")
+			os.Exit(2)
+		}
+		watchMetrics(*addr, *watch)
+		return
+	}
 
 	var dump telemetry.Dump
 	switch {
@@ -92,8 +102,69 @@ func runDump(chain string, packets int, seed int64, traceSample, traceBuf int) t
 	return telemetry.Dump{Metrics: *live.Telemetry, Traces: live.Traces}
 }
 
+// watchMetrics re-polls a running server and prints what changed since
+// the previous poll: counter deltas as per-second rates, gauge moves,
+// and histogram count/p99 updates. Unchanged series stay silent, so the
+// output diffs cleanly across intervals.
+func watchMetrics(addr string, interval time.Duration) {
+	prev := fetchDump(addr).Metrics
+	prev.Sort()
+	fmt.Fprintf(os.Stderr, "watching %s every %v (Ctrl-C to stop)\n", addr, interval)
+	for range time.Tick(interval) {
+		cur := fetchDump(addr).Metrics
+		cur.Sort()
+		secs := interval.Seconds()
+		fmt.Printf("--- %s\n", time.Now().Format("15:04:05"))
+		for _, c := range cur.Counters {
+			if d := c.Value - prev.CounterValue(c.Name, labelPairs(c.Labels)...); d != 0 {
+				fmt.Printf("  %-52s %+12d  (%.0f/s)\n", series(c.Name, c.Labels), d, float64(d)/secs)
+			}
+		}
+		for _, g := range cur.Gauges {
+			if g.Value != prev.GaugeValue(g.Name, labelPairs(g.Labels)...) {
+				fmt.Printf("  %-52s %12d\n", series(g.Name, g.Labels), g.Value)
+			}
+		}
+		for _, h := range cur.Histograms {
+			pc := histCount(prev, h.Name, h.Labels)
+			if d := h.Count - pc; d != 0 {
+				fmt.Printf("  %-52s %+12d  (p99 %.1fµs)\n", series(h.Name, h.Labels), d, float64(h.P99)/1e3)
+			}
+		}
+		prev = cur
+	}
+}
+
+func labelPairs(m map[string]string) []telemetry.Label {
+	out := make([]telemetry.Label, 0, len(m))
+	for k, v := range m {
+		out = append(out, telemetry.L(k, v))
+	}
+	return out
+}
+
+func histCount(s telemetry.Snapshot, name string, labels map[string]string) uint64 {
+	for _, h := range s.Histograms {
+		if h.Name != name || len(h.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if h.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return h.Count
+		}
+	}
+	return 0
+}
+
 func printDump(dump telemetry.Dump) {
 	s := dump.Metrics
+	s.Sort()
 	w := func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
 	if len(s.Counters) > 0 {
 		w("COUNTERS")

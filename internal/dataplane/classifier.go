@@ -70,6 +70,14 @@ type Classifier struct {
 	defaultHits *telemetry.Counter
 	unmatchedC  *telemetry.Counter
 	dispatch    atomic.Pointer[map[uint32]*telemetry.Counter]
+
+	// Flow accounting hook (nil unless Config.FlowAccount wired it):
+	// classified packets whose fresh PID clears flowMask feed the
+	// observer with counts pre-scaled by flowRate, so sketch estimates
+	// approximate true per-flow totals.
+	flowObs  FlowObserver
+	flowMask uint64
+	flowRate uint64
 }
 
 // bindTelemetry points the classifier's counters at a registry. Called
@@ -79,6 +87,23 @@ func (c *Classifier) bindTelemetry(reg *telemetry.Registry) {
 	c.ruleMatches = reg.Counter("nfp_classifier_rule_matches_total")
 	c.defaultHits = reg.Counter("nfp_classifier_default_hits_total")
 	c.unmatchedC = reg.Counter("nfp_classifier_unmatched_total")
+}
+
+// bindFlowObserver wires sampled flow accounting. Called once by the
+// owning Server before traffic flows; mask must be 2^n - 1.
+func (c *Classifier) bindFlowObserver(obs FlowObserver, mask uint64) {
+	c.flowObs = obs
+	c.flowMask = mask
+	c.flowRate = mask + 1
+}
+
+// observeFlow feeds one sampled packet to the flow observer. The
+// packet's layout cache is warm or warming anyway (classification just
+// parsed it), so FromPacket costs a cache read.
+func (c *Classifier) observeFlow(p *packet.Packet) {
+	if k, err := flow.FromPacket(p); err == nil {
+		c.flowObs.ObserveFlow(k, c.flowRate, c.flowRate*uint64(p.Len()))
+	}
 }
 
 // midCounter resolves the per-MID dispatch counter, growing the
@@ -187,6 +212,9 @@ func (c *Classifier) Classify(p *packet.Packet) (uint32, bool) {
 	}
 	pid := c.nextPID.Add(1) & packet.MaxPID
 	p.Meta = packet.Meta{MID: mid, PID: pid, Version: 1}
+	if c.flowObs != nil && pid&c.flowMask == 0 {
+		c.observeFlow(p)
+	}
 	if viaDefault {
 		c.defaultHits.Add(1)
 	} else {
@@ -228,6 +256,9 @@ func (c *Classifier) ClassifyBatch(pkts []*packet.Packet) int {
 		}
 		pid := c.nextPID.Add(1) & packet.MaxPID
 		p.Meta = packet.Meta{MID: mid, PID: pid, Version: 1}
+		if c.flowObs != nil && pid&c.flowMask == 0 {
+			c.observeFlow(p)
+		}
 		if viaDefault {
 			defHits++
 		} else {

@@ -21,6 +21,16 @@ import (
 // assume.
 const DefaultBurst = 32
 
+// FlowObserver receives sampled per-flow accounting from the
+// classifier — the hook the diagnosis layer's heavy-hitter sketch
+// plugs into without the dataplane importing it. Implementations must
+// be safe for concurrent use; observations arrive pre-scaled by the
+// sample rate (pkts = rate, bytes = wire length × rate), so estimates
+// approximate true per-flow totals.
+type FlowObserver interface {
+	ObserveFlow(k flow.Key, pkts, bytes uint64)
+}
+
 // Config sizes an NFP server.
 type Config struct {
 	// PoolSize is the number of packet buffers in the shared pool
@@ -72,6 +82,22 @@ type Config struct {
 	// RestartBackoffMax (defaults 1ms and 250ms).
 	RestartBackoff    time.Duration
 	RestartBackoffMax time.Duration
+	// FlowAccount, when set, receives sampled per-flow (5-tuple)
+	// accounting from the classifier at FlowSampleRate. Nil disables
+	// flow accounting entirely (zero hot-path cost).
+	FlowAccount FlowObserver
+	// FlowSampleRate samples roughly one in FlowSampleRate classified
+	// packets into FlowAccount, selected by PID mask (rounded down to a
+	// power of two; default 64; 1 observes every packet). Synthetic
+	// sources that strictly round-robin a flow set aligned with the rate
+	// see a biased subset — real and randomized traffic do not.
+	FlowSampleRate int
+	// E2ESampleRate enables end-to-end latency recording
+	// (nfp_e2e_latency_ns{mid}, ingress stamp to output delivery) for
+	// roughly one in E2ESampleRate packets, PID-mask selected (rounded
+	// down to a power of two; 0 disables; 1 records everything). The
+	// histograms feed the diagnosis layer's SLO evaluation.
+	E2ESampleRate int
 	// Fusion selects the execution engine: FusionOn (the default —
 	// FusionAuto resolves to it) fuses strictly sequential graph
 	// segments into single run-to-completion runtimes with no
@@ -131,6 +157,22 @@ func (c *Config) setDefaults() {
 	if c.Fusion == FusionAuto {
 		c.Fusion = FusionOn
 	}
+	if c.FlowSampleRate == 0 {
+		c.FlowSampleRate = 64
+	}
+}
+
+// pidMask converts a 1-in-rate sampling rate to a PID mask (rate
+// rounded down to a power of two): pid&mask == 0 selects the sample.
+func pidMask(rate int) uint64 {
+	if rate < 1 {
+		rate = 1
+	}
+	p := uint64(1)
+	for p*2 <= uint64(rate) {
+		p *= 2
+	}
+	return p - 1
 }
 
 // planRuntime is one installed service graph with its segment runtimes.
@@ -141,6 +183,9 @@ type planRuntime struct {
 	// dispatch targets resolve to the ring-owning segment.
 	rts   []*nodeRT
 	owner []*nodeRT
+	// e2eLat records sampled ingress→output latency for this graph
+	// (nil unless Config.E2ESampleRate enabled it).
+	e2eLat *telemetry.Histogram
 }
 
 // Server is one NFP server (Figure 3): shared memory pool, classifier,
@@ -173,6 +218,10 @@ type Server struct {
 	sheds    *telemetry.Counter
 	bpYields *telemetry.Counter
 	bpParks  *telemetry.Counter
+	// e2eMask selects which PIDs record end-to-end latency (meaningful
+	// only when e2eOn; see Config.E2ESampleRate).
+	e2eOn   bool
+	e2eMask uint64
 }
 
 // New creates a server from cfg.
@@ -198,6 +247,13 @@ func New(cfg Config) *Server {
 	s.bpYields = s.tel.Counter("nfp_backpressure_yields_total")
 	s.bpParks = s.tel.Counter("nfp_backpressure_parks_total")
 	s.classifier.bindTelemetry(s.tel)
+	if cfg.FlowAccount != nil {
+		s.classifier.bindFlowObserver(cfg.FlowAccount, pidMask(cfg.FlowSampleRate))
+	}
+	if cfg.E2ESampleRate > 0 {
+		s.e2eOn = true
+		s.e2eMask = pidMask(cfg.E2ESampleRate)
+	}
 	s.pool.MustRegister(s.tel)
 	s.plans.Store(&map[uint32]*planRuntime{})
 	// Keep a slice of the pool for the copies parallel stages create;
@@ -253,6 +309,9 @@ func (s *Server) AddGraphInstances(mid uint32, g graph.Node, instances map[graph
 		segs = singletonSegments(len(plan.Nodes))
 	}
 	midLabel := telemetry.L("mid", strconv.FormatUint(uint64(mid), 10))
+	if s.e2eOn {
+		pr.e2eLat = s.tel.Histogram("nfp_e2e_latency_ns", midLabel)
+	}
 	for _, seg := range segs {
 		head := &plan.Nodes[seg[0]]
 		headLabels := []telemetry.Label{telemetry.L("nf", head.NF.String()), midLabel}
@@ -268,6 +327,9 @@ func (s *Server) AddGraphInstances(mid uint32, g graph.Node, instances map[graph
 			sheds:         s.tel.Counter("nfp_nf_ring_sheds_total", headLabels...),
 			ringHW:        s.tel.Gauge("nfp_nf_ring_high_water", headLabels...),
 		}
+		// Static capacity beside the high-water mark, so the diagnosis
+		// layer can express occupancy as a fill fraction.
+		s.tel.Gauge("nfp_nf_ring_capacity", headLabels...).Set(int64(n.rx.Cap()))
 		for k, id := range seg {
 			pn := &plan.Nodes[id]
 			inst := instances[pn.NF]
@@ -664,6 +726,9 @@ func (s *Server) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped 
 			s.drops.Add(1)
 			pkt.Free()
 			return
+		}
+		if s.e2eOn && pkt.Meta.PID&s.e2eMask == 0 && pkt.Ingress > 0 {
+			pr.e2eLat.Record(time.Now().UnixNano() - pkt.Ingress)
 		}
 		s.outCount.Add(1)
 		s.out <- pkt

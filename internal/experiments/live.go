@@ -89,6 +89,16 @@ type LiveOptions struct {
 	// the zero value resolves to fused run-to-completion segments,
 	// dataplane.FusionOff pins one ring per NF.
 	Fusion dataplane.FusionMode
+	// FlowAccount receives sampled per-flow accounting from the
+	// classifier (see dataplane.Config.FlowAccount) — nfpd feeds the
+	// diagnosis layer's heavy-hitter sketch through it.
+	FlowAccount dataplane.FlowObserver
+	// FlowSampleRate tunes the flow-accounting sample rate (see
+	// dataplane.Config.FlowSampleRate; 0 keeps the default).
+	FlowSampleRate int
+	// E2ESampleRate enables sampled end-to-end latency histograms (see
+	// dataplane.Config.E2ESampleRate; 0 disables).
+	E2ESampleRate int
 }
 
 // LiveRegistry, when non-nil, supplies NF factories to the live runs
@@ -131,6 +141,9 @@ func RunLiveGraphOpts(g graph.Node, n int, gen *trafficgen.Generator, opts LiveO
 		NodePriority:    opts.NodePriority,
 		RingSize:        opts.RingSize,
 		Fusion:          opts.Fusion,
+		FlowAccount:     opts.FlowAccount,
+		FlowSampleRate:  opts.FlowSampleRate,
+		E2ESampleRate:   opts.E2ESampleRate,
 	})
 	if err := srv.AddGraph(1, g); err != nil {
 		return LiveResult{}, err

@@ -14,6 +14,7 @@ package faultinject
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nfp/internal/mempool"
 	"nfp/internal/nf"
@@ -70,7 +71,10 @@ func (p *PanicNF) Panicked() uint64 { return p.panicked.Load() }
 // StallNF wraps an NF and, once armed, blocks every Process call until
 // Release — freezing the runtime goroutine so its receive ring backs
 // up. It models a wedged NF (infinite loop, lost lock) as opposed to a
-// crashed one.
+// crashed one. SetDelay arms a milder mode: every call sleeps a fixed
+// duration before delegating, inflating the NF's measured service time
+// without wedging it — the knob diagnosis tests use to manufacture a
+// bottleneck with a known ρ.
 type StallNF struct {
 	Inner nf.NF
 
@@ -78,6 +82,7 @@ type StallNF struct {
 	stalled bool
 	gate    chan struct{}
 	waiting atomic.Int64
+	delayNS atomic.Int64
 }
 
 // NewStallNF wraps inner in the released (pass-through) state.
@@ -113,7 +118,16 @@ func (s *StallNF) Release() {
 // does not assume that).
 func (s *StallNF) Stalled() int64 { return s.waiting.Load() }
 
-// Process blocks while the wrapper is armed, then delegates.
+// SetDelay makes every subsequent Process call sleep d before
+// delegating — service-time inflation, independent of the Stall gate.
+// SetDelay(0) restores pass-through timing.
+func (s *StallNF) SetDelay(d time.Duration) { s.delayNS.Store(int64(d)) }
+
+// Delay returns the current per-call delay.
+func (s *StallNF) Delay() time.Duration { return time.Duration(s.delayNS.Load()) }
+
+// Process blocks while the wrapper is armed, sleeps any configured
+// delay, then delegates.
 func (s *StallNF) Process(pkt *packet.Packet) nf.Verdict {
 	s.mu.Lock()
 	stalled, gate := s.stalled, s.gate
@@ -122,6 +136,9 @@ func (s *StallNF) Process(pkt *packet.Packet) nf.Verdict {
 		s.waiting.Add(1)
 		<-gate
 		s.waiting.Add(-1)
+	}
+	if d := s.delayNS.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
 	}
 	return s.Inner.Process(pkt)
 }

@@ -3,6 +3,7 @@ package faultinject
 import (
 	"net/netip"
 	"testing"
+	"time"
 
 	"nfp/internal/mempool"
 	"nfp/internal/nf"
@@ -131,5 +132,30 @@ func TestPoolHog(t *testing.T) {
 	}
 	if pool.InUse() != 0 {
 		t.Fatalf("pool leak: %d in use", pool.InUse())
+	}
+}
+
+func TestStallNFSetDelayInflatesServiceTime(t *testing.T) {
+	s := NewStallNF(nf.NewMonitor())
+	p := testPacket(t)
+	start := time.Now()
+	s.Process(p)
+	if base := time.Since(start); base > 2*time.Millisecond {
+		t.Fatalf("undelayed call took %v", base)
+	}
+	s.SetDelay(10 * time.Millisecond)
+	if s.Delay() != 10*time.Millisecond {
+		t.Fatalf("Delay() = %v", s.Delay())
+	}
+	start = time.Now()
+	s.Process(p)
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("delayed call took %v, want >= 10ms", d)
+	}
+	s.SetDelay(0)
+	start = time.Now()
+	s.Process(p)
+	if d := time.Since(start); d > 2*time.Millisecond {
+		t.Fatalf("cleared delay still slow: %v", d)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 
 	"nfp/internal/nfa"
 	"nfp/internal/packet"
@@ -28,6 +29,16 @@ type VPN struct {
 	spi   uint32
 	seq   uint32
 	done  uint64
+
+	// Per-instance scratch. An NF instance runs on one goroutine (seq
+	// already relies on that), so the HMAC state and CTR blocks are
+	// reused across packets instead of allocated per call — the
+	// north-south path's dominant allocation site before this existed.
+	hm   hash.Hash
+	sum  [sha256.Size]byte
+	seqb [4]byte
+	ctr  [aes.BlockSize]byte
+	ks   [aes.BlockSize]byte
 }
 
 // NewVPN creates a VPN NF. A nil key selects a fixed test key;
@@ -40,7 +51,9 @@ func NewVPN(key []byte) (*VPN, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vpn: %w", err)
 	}
-	return &VPN{block: block, mac: append([]byte(nil), key...), spi: 0x4e4650}, nil
+	v := &VPN{block: block, mac: append([]byte(nil), key...), spi: 0x4e4650}
+	v.hm = hmac.New(sha256.New, v.mac)
+	return v, nil
 }
 
 // Name implements NF.
@@ -125,28 +138,48 @@ func (v *VPN) Decap(p *packet.Packet) error {
 	return nil
 }
 
-// crypt en/decrypts data in place with AES-CTR keyed by seq.
+// crypt en/decrypts data in place with AES-CTR keyed by seq. The CTR
+// loop is inlined over the instance's scratch blocks — identical output
+// to cipher.NewCTR over the same IV (initial counter = IV, whole-block
+// big-endian increment), without the per-packet stream-state
+// allocation.
 func (v *VPN) crypt(data []byte, seq uint32) {
 	if len(data) == 0 {
 		return
 	}
-	var iv [aes.BlockSize]byte
-	binary.BigEndian.PutUint32(iv[0:4], v.spi)
-	binary.BigEndian.PutUint32(iv[4:8], seq)
-	cipher.NewCTR(v.block, iv[:]).XORKeyStream(data, data)
+	clear(v.ctr[:])
+	binary.BigEndian.PutUint32(v.ctr[0:4], v.spi)
+	binary.BigEndian.PutUint32(v.ctr[4:8], seq)
+	for i := 0; i < len(data); i += aes.BlockSize {
+		v.block.Encrypt(v.ks[:], v.ctr[:])
+		n := len(data) - i
+		if n > aes.BlockSize {
+			n = aes.BlockSize
+		}
+		for j := 0; j < n; j++ {
+			data[i+j] ^= v.ks[j]
+		}
+		for k := aes.BlockSize - 1; k >= 0; k-- {
+			v.ctr[k]++
+			if v.ctr[k] != 0 {
+				break
+			}
+		}
+	}
 }
 
 // icv computes the truncated HMAC-SHA256 integrity value over the
-// addresses and (encrypted) payload of the un-encapsulated packet.
+// addresses and (encrypted) payload of the un-encapsulated packet. The
+// returned slice aliases instance scratch — valid until the next icv
+// call.
 func (v *VPN) icv(p *packet.Packet, seq uint32) []byte {
-	h := hmac.New(sha256.New, v.mac)
-	var seqb [4]byte
-	binary.BigEndian.PutUint32(seqb[:], seq)
-	h.Write(seqb[:])
-	h.Write(p.FieldBytes(packet.FieldSrcIP))
-	h.Write(p.FieldBytes(packet.FieldDstIP))
-	h.Write(p.Payload())
-	return h.Sum(nil)[:12]
+	v.hm.Reset()
+	binary.BigEndian.PutUint32(v.seqb[:], seq)
+	v.hm.Write(v.seqb[:])
+	v.hm.Write(p.FieldBytes(packet.FieldSrcIP))
+	v.hm.Write(p.FieldBytes(packet.FieldDstIP))
+	v.hm.Write(p.Payload())
+	return v.hm.Sum(v.sum[:0])[:12]
 }
 
 // Encapsulated returns how many packets were wrapped.

@@ -1,0 +1,304 @@
+package diagnose
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nfp/internal/telemetry"
+)
+
+// Health states, from best to worst. The state machine:
+//
+//	unknown    fewer than two samples retained — no window to judge.
+//	ok         no rule below fired.
+//	degraded   any NF unhealthy or panicking this window, any ρ ≥
+//	           RhoDegraded, or any chain burning error budget (> 1×).
+//	overloaded any ρ ≥ RhoOverloaded, packets shed this window, or a
+//	           chain burning ≥ 10× its error budget.
+//
+// Overloaded wins over degraded; every fired rule is listed in Reasons.
+const (
+	StateUnknown    = "unknown"
+	StateOK         = "ok"
+	StateDegraded   = "degraded"
+	StateOverloaded = "overloaded"
+)
+
+// stateValue maps a state to the exported nfp_health_state gauge value.
+func stateValue(state string) int {
+	switch state {
+	case StateOK:
+		return 1
+	case StateDegraded:
+		return 2
+	case StateOverloaded:
+		return 3
+	}
+	return 0
+}
+
+// NFDiag is one NF's windowed diagnosis. Rho is the queueing-model
+// utilization estimate ρ = arrival rate × mean service time: above 1
+// the NF cannot drain its offered load and its ring must grow.
+type NFDiag struct {
+	NF  string `json:"nf"`
+	MID string `json:"mid"`
+
+	ArrivalPPS    float64 `json:"arrival_pps"`
+	MeanServiceNS float64 `json:"mean_service_ns"`
+	Rho           float64 `json:"rho"`
+
+	RingHighWater int64   `json:"ring_high_water"`
+	RingCapacity  int64   `json:"ring_capacity"`
+	RingFill      float64 `json:"ring_fill"`
+	RingRising    bool    `json:"ring_rising"`
+
+	ShedPPS float64 `json:"shed_pps"`
+	DropPPS float64 `json:"drop_pps"`
+	Healthy bool    `json:"healthy"`
+
+	Verdict string `json:"verdict"`
+}
+
+// ChainSLO is one chain's (match rule's) latency-objective evaluation
+// over the window. BurnRate is the error-budget burn: for an SLO of
+// "p99 ≤ target", the budget is 1% of samples; burn = violation
+// fraction / 1%. Burn 1.0 consumes the budget exactly; above it the
+// chain is out of SLO.
+type ChainSLO struct {
+	MID         string  `json:"mid"`
+	TargetP99NS uint64  `json:"target_p99_ns"`
+	WindowP99NS uint64  `json:"window_p99_ns"`
+	WindowCount uint64  `json:"window_count"`
+	Violations  uint64  `json:"violations"`
+	BurnRate    float64 `json:"burn_rate"`
+	Met         bool    `json:"met"`
+}
+
+// HealthReport is the /debug/health document: the machine-readable
+// verdict the ROADMAP autoscaler consumes.
+type HealthReport struct {
+	State         string     `json:"state"`
+	Reasons       []string   `json:"reasons,omitempty"`
+	WindowSeconds float64    `json:"window_seconds"`
+	Samples       int        `json:"samples"`
+	Bottlenecks   []NFDiag   `json:"bottlenecks"` // ranked by ρ, descending
+	SLO           []ChainSLO `json:"slo,omitempty"`
+}
+
+// Report computes the current diagnosis from the retained window. With
+// fewer than two samples the state is unknown and everything else is
+// empty.
+func (d *Diagnoser) Report() HealthReport {
+	oldest, newest, n, ok := d.window()
+	if !ok {
+		return HealthReport{State: StateUnknown, Samples: n,
+			Reasons: []string{"need at least 2 samples"}}
+	}
+	elapsed := newest.ts.Sub(oldest.ts).Seconds()
+	rep := HealthReport{WindowSeconds: elapsed, Samples: n}
+	if elapsed <= 0 {
+		rep.State = StateUnknown
+		rep.Reasons = []string{"window has zero duration"}
+		return rep
+	}
+
+	rep.Bottlenecks = d.rankNFs(oldest, newest, elapsed)
+	rep.SLO = d.evalSLO(oldest, newest)
+	rep.State, rep.Reasons = d.judge(oldest, newest, rep)
+	return rep
+}
+
+// rankNFs builds the per-NF diagnosis, ranked by ρ descending.
+func (d *Diagnoser) rankNFs(oldest, newest sample, elapsed float64) []NFDiag {
+	var out []NFDiag
+	for _, c := range newest.snap.Counters {
+		if c.Name != metricNFPacketsIn {
+			continue
+		}
+		nf, mid := c.Labels["nf"], c.Labels["mid"]
+		nd := NFDiag{NF: nf, MID: mid, Healthy: true}
+
+		inDelta := c.Value - counterAt(oldest.snap, metricNFPacketsIn, c.Labels)
+		nd.ArrivalPPS = float64(inDelta) / elapsed
+
+		k := histKey(metricNFSvcTime, c.Labels)
+		svc := newest.hists[k].DeltaFrom(oldest.hists[k])
+		if svc.Count > 0 {
+			nd.MeanServiceNS = float64(svc.Sum) / float64(svc.Count)
+		}
+		nd.Rho = nd.ArrivalPPS * nd.MeanServiceNS / 1e9
+
+		nd.RingHighWater = gaugeAt(newest.snap, metricNFRingHW, c.Labels)
+		nd.RingCapacity = gaugeAt(newest.snap, metricNFRingCap, c.Labels)
+		if nd.RingCapacity > 0 {
+			nd.RingFill = float64(nd.RingHighWater) / float64(nd.RingCapacity)
+		}
+		nd.RingRising = nd.RingHighWater > gaugeAt(oldest.snap, metricNFRingHW, c.Labels)
+
+		shedDelta := counterAt(newest.snap, metricNFRingSheds, c.Labels) -
+			counterAt(oldest.snap, metricNFRingSheds, c.Labels)
+		nd.ShedPPS = float64(shedDelta) / elapsed
+		dropDelta := counterAt(newest.snap, metricNFPanicDrops, c.Labels) -
+			counterAt(oldest.snap, metricNFPanicDrops, c.Labels)
+		dropDelta += counterAt(newest.snap, metricNFUnhealthy, c.Labels) -
+			counterAt(oldest.snap, metricNFUnhealthy, c.Labels)
+		nd.DropPPS = float64(dropDelta) / elapsed
+
+		if hasGauge(newest.snap, metricNFHealthy, c.Labels) {
+			nd.Healthy = gaugeAt(newest.snap, metricNFHealthy, c.Labels) != 0
+		}
+
+		nd.Verdict = verdict(nd)
+		out = append(out, nd)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Rho != out[j].Rho {
+			return out[i].Rho > out[j].Rho
+		}
+		if out[i].NF != out[j].NF {
+			return out[i].NF < out[j].NF
+		}
+		return out[i].MID < out[j].MID
+	})
+	return out
+}
+
+// verdict renders the one-line human summary ("nf=ids ρ=0.94, ring 87%
+// full, rising").
+func verdict(nd NFDiag) string {
+	s := fmt.Sprintf("nf=%s ρ=%.2f", nd.NF, nd.Rho)
+	if nd.RingCapacity > 0 {
+		s += fmt.Sprintf(", ring %.0f%% full", nd.RingFill*100)
+	}
+	if nd.RingRising {
+		s += ", rising"
+	}
+	if nd.ShedPPS > 0 {
+		s += fmt.Sprintf(", shedding %.0f pps", nd.ShedPPS)
+	}
+	if !nd.Healthy {
+		s += ", UNHEALTHY"
+	}
+	return s
+}
+
+// evalSLO evaluates the configured p99 objective per chain (MID) from
+// the e2e latency histograms' window deltas.
+func (d *Diagnoser) evalSLO(oldest, newest sample) []ChainSLO {
+	if d.cfg.SLOTargetP99 <= 0 {
+		return nil
+	}
+	target := uint64(d.cfg.SLOTargetP99.Nanoseconds())
+	var out []ChainSLO
+	for _, hs := range newest.snap.Histograms {
+		if hs.Name != metricE2ELatency {
+			continue
+		}
+		k := histKey(metricE2ELatency, hs.Labels)
+		win := newest.hists[k].DeltaFrom(oldest.hists[k])
+		slo := ChainSLO{MID: hs.Labels["mid"], TargetP99NS: target}
+		if win.Count > 0 {
+			slo.WindowCount = win.Count
+			slo.WindowP99NS = win.Percentile(99)
+			slo.Violations = win.CountAbove(target)
+			slo.BurnRate = (float64(slo.Violations) / float64(win.Count)) / 0.01
+		}
+		slo.Met = slo.BurnRate <= 1
+		out = append(out, slo)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MID < out[j].MID })
+	return out
+}
+
+// judge runs the health state machine over the assembled report.
+func (d *Diagnoser) judge(oldest, newest sample, rep HealthReport) (string, []string) {
+	var reasons []string
+	state := StateOK
+	raise := func(to string, reason string) {
+		reasons = append(reasons, reason)
+		if to == StateOverloaded || state != StateOverloaded && to == StateDegraded {
+			state = to
+		}
+	}
+
+	for _, nf := range rep.Bottlenecks {
+		switch {
+		case nf.Rho >= d.cfg.RhoOverloaded:
+			raise(StateOverloaded, fmt.Sprintf("nf %s (mid %s) at ρ=%.2f ≥ %.2f", nf.NF, nf.MID, nf.Rho, d.cfg.RhoOverloaded))
+		case nf.Rho >= d.cfg.RhoDegraded:
+			raise(StateDegraded, fmt.Sprintf("nf %s (mid %s) at ρ=%.2f ≥ %.2f", nf.NF, nf.MID, nf.Rho, d.cfg.RhoDegraded))
+		}
+		if !nf.Healthy {
+			raise(StateDegraded, fmt.Sprintf("nf %s (mid %s) reported unhealthy", nf.NF, nf.MID))
+		}
+	}
+
+	sheds := newest.snap.SumCounters(metricRingSheds) + newest.snap.SumCounters(metricNFRingSheds) -
+		oldest.snap.SumCounters(metricRingSheds) - oldest.snap.SumCounters(metricNFRingSheds)
+	if sheds > 0 {
+		raise(StateOverloaded, fmt.Sprintf("%d packets shed this window", sheds))
+	}
+	if panics := newest.snap.SumCounters(metricNFPanics) - oldest.snap.SumCounters(metricNFPanics); panics > 0 {
+		raise(StateDegraded, fmt.Sprintf("%d NF panics this window", panics))
+	}
+
+	for _, slo := range rep.SLO {
+		if slo.BurnRate >= 10 {
+			raise(StateOverloaded, fmt.Sprintf("chain mid=%s burning %.1f× its error budget", slo.MID, slo.BurnRate))
+		} else if !slo.Met {
+			raise(StateDegraded, fmt.Sprintf("chain mid=%s burning %.1f× its error budget", slo.MID, slo.BurnRate))
+		}
+	}
+	return state, reasons
+}
+
+// counterAt finds a counter series by name and exact label set.
+func counterAt(s telemetry.Snapshot, name string, labels map[string]string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name && labelsEqual(c.Labels, labels) {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// gaugeAt finds a gauge series by name and exact label set.
+func gaugeAt(s telemetry.Snapshot, name string, labels map[string]string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name && labelsEqual(g.Labels, labels) {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// hasGauge reports whether the series exists at all (gaugeAt cannot
+// distinguish absent from zero).
+func hasGauge(s telemetry.Snapshot, name string, labels map[string]string) bool {
+	for _, g := range s.Gauges {
+		if g.Name == name && labelsEqual(g.Labels, labels) {
+			return true
+		}
+	}
+	return false
+}
+
+func labelsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// WindowDuration returns the configured span of the full ring — how
+// much history the diagnoser retains once warm.
+func (d *Diagnoser) WindowDuration() time.Duration {
+	return time.Duration(d.cfg.Window) * d.cfg.Interval
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestGaugeSetMaxConcurrent hammers SetMax from many goroutines and
+// checks the CAS loop's high-water contract: the final value is the
+// global maximum ever offered — concurrent lower offers can never
+// clobber a higher one, regardless of interleaving.
+func TestGaugeSetMaxConcurrent(t *testing.T) {
+	g := NewGauge()
+	const (
+		workers = 16
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				// Worker w offers values in [w*perW, (w+1)*perW), shuffled
+				// so offers are non-monotonic within each worker too.
+				v := int64(w*perW + (i*7919)%perW)
+				g.SetMax(v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := int64(workers*perW - 1)
+	if got := g.Value(); got != want {
+		t.Fatalf("after concurrent SetMax: %d, want global max %d", got, want)
+	}
+	// A late lower offer must not lower the mark.
+	g.SetMax(1)
+	if got := g.Value(); got != want {
+		t.Fatalf("lower offer moved the high-water mark: %d", got)
+	}
+}
+
+// TestGaugeSetMaxInterleavedWithSet checks that SetMax raises from
+// whatever Set last stored (Set is an unconditional store, SetMax a
+// conditional raise).
+func TestGaugeSetMaxInterleavedWithSet(t *testing.T) {
+	g := NewGauge()
+	g.SetMax(100)
+	g.Set(10) // unconditional: lowers
+	if got := g.Value(); got != 10 {
+		t.Fatalf("Set after SetMax: %d, want 10", got)
+	}
+	g.SetMax(50)
+	if got := g.Value(); got != 50 {
+		t.Fatalf("SetMax after Set: %d, want 50", got)
+	}
+	g.SetMax(-5)
+	if got := g.Value(); got != 50 {
+		t.Fatalf("negative offer lowered the mark: %d", got)
+	}
+}
+
+// TestSnapshotLookupMissPaths pins the zero-value contract of the
+// snapshot accessors: an absent name, a label-set mismatch (extra,
+// missing, or different value), and a kind mismatch all return 0
+// rather than panicking or matching loosely.
+func TestSnapshotLookupMissPaths(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits", L("nf", "fw")).Add(7)
+	r.Gauge("depth", L("nf", "fw"), L("mid", "1")).Set(9)
+	s := r.Snapshot()
+
+	if v := s.CounterValue("nope"); v != 0 {
+		t.Fatalf("absent counter name: %d, want 0", v)
+	}
+	if v := s.CounterValue("hits"); v != 0 {
+		t.Fatalf("counter with labels looked up label-less: %d, want 0", v)
+	}
+	if v := s.CounterValue("hits", L("nf", "ids")); v != 0 {
+		t.Fatalf("wrong label value: %d, want 0", v)
+	}
+	if v := s.CounterValue("hits", L("nf", "fw"), L("mid", "1")); v != 0 {
+		t.Fatalf("extra label: %d, want 0", v)
+	}
+	if v := s.CounterValue("hits", L("nf", "fw")); v != 7 {
+		t.Fatalf("exact match: %d, want 7", v)
+	}
+	// Label order must not matter on the hit path.
+	if v := s.GaugeValue("depth", L("mid", "1"), L("nf", "fw")); v != 9 {
+		t.Fatalf("label order changed lookup: %d, want 9", v)
+	}
+	if v := s.GaugeValue("depth", L("nf", "fw")); v != 0 {
+		t.Fatalf("missing label: %d, want 0", v)
+	}
+	if v := s.GaugeValue("hits", L("nf", "fw")); v != 0 {
+		t.Fatalf("counter looked up as gauge: %d, want 0", v)
+	}
+	if v := s.GaugeValue("absent"); v != 0 {
+		t.Fatalf("absent gauge: %d, want 0", v)
+	}
+}

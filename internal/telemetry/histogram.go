@@ -185,3 +185,38 @@ func (s *HistSnapshot) Mean() float64 {
 	}
 	return float64(s.Sum) / float64(s.Count)
 }
+
+// CountAbove returns how many recorded samples exceeded v. Samples
+// landing in the bucket containing v are counted only when the whole
+// bucket lies above v, so the result under-counts by at most one
+// bucket's population (relative bucket width ≤12.5%) — the
+// conservative direction for SLO violation accounting.
+func (s *HistSnapshot) CountAbove(v uint64) uint64 {
+	var n uint64
+	for i := bucketIndex(v) + 1; i < numBuckets; i++ {
+		n += s.Counts[i]
+	}
+	return n
+}
+
+// DeltaFrom returns the histogram of samples recorded since old was
+// taken: bucket-wise, count and sum differences. Both snapshots must
+// come from the same (monotone) histogram; a mismatched or newer old
+// yields saturating zeros rather than wrapping. Min/Max carry over from
+// the newer snapshot — they are lifetime extremes, so window
+// percentiles clamp slightly wider than the true window extremes.
+func (s HistSnapshot) DeltaFrom(old HistSnapshot) HistSnapshot {
+	d := HistSnapshot{Min: s.Min, Max: s.Max}
+	for i := range s.Counts {
+		if s.Counts[i] > old.Counts[i] {
+			d.Counts[i] = s.Counts[i] - old.Counts[i]
+		}
+	}
+	if s.Count > old.Count {
+		d.Count = s.Count - old.Count
+	}
+	if s.Sum > old.Sum {
+		d.Sum = s.Sum - old.Sum
+	}
+	return d
+}

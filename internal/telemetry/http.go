@@ -127,7 +127,18 @@ type SpansDump struct {
 //
 // reg and tr may be nil (empty sections).
 func Handler(reg *Registry, tr *Tracer) http.Handler {
+	return HandlerWith(reg, tr, nil)
+}
+
+// HandlerWith is Handler plus caller-supplied endpoints (pattern →
+// handler), the hook subsystems layered above telemetry (diagnosis,
+// future control surfaces) use to join the same introspection server.
+// Extra patterns must not collide with the built-in ones.
+func HandlerWith(reg *Registry, tr *Tracer, extra map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.Snapshot().WritePrometheus(w)
@@ -168,11 +179,16 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 // ":0" callers learn their port. Errors after binding are the server's
 // to log; binding errors return immediately.
 func Serve(addr string, reg *Registry, tr *Tracer) (*http.Server, string, error) {
+	return ServeWith(addr, reg, tr, nil)
+}
+
+// ServeWith is Serve with extra endpoints (see HandlerWith).
+func ServeWith(addr string, reg *Registry, tr *Tracer, extra map[string]http.Handler) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg, tr)}
+	srv := &http.Server{Handler: HandlerWith(reg, tr, extra)}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr().String(), nil
 }

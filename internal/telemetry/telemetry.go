@@ -363,6 +363,70 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// HistogramSeries is one live histogram of a family, with its labels —
+// the registry handle diagnostics use to take full-bucket snapshots
+// (Snapshot keeps only summary quantiles).
+type HistogramSeries struct {
+	Labels map[string]string
+	H      *Histogram
+}
+
+// HistogramFamily returns the live histograms registered under name, in
+// registration order. The returned pointers stay valid (and recording)
+// for the registry's lifetime. Safe on a nil receiver (returns nil).
+func (r *Registry) HistogramFamily(name string) []HistogramSeries {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []HistogramSeries
+	for _, k := range r.order {
+		e := r.entries[k]
+		if e.kind == kindHistogram && e.name == name {
+			out = append(out, HistogramSeries{Labels: labelMap(e.labels), H: e.h})
+		}
+	}
+	return out
+}
+
+// seriesKey orders snapshot entries by name then sorted labels — the
+// stable, diffable order tooling wants.
+func seriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	for _, k := range keys {
+		b.WriteByte('\x00')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+// Sort orders the snapshot's counters, gauges and histograms by
+// name+labels, replacing the registry's registration order with one
+// stable across processes — so repeated snapshots diff cleanly.
+func (s *Snapshot) Sort() {
+	sort.SliceStable(s.Counters, func(i, j int) bool {
+		return seriesKey(s.Counters[i].Name, s.Counters[i].Labels) < seriesKey(s.Counters[j].Name, s.Counters[j].Labels)
+	})
+	sort.SliceStable(s.Gauges, func(i, j int) bool {
+		return seriesKey(s.Gauges[i].Name, s.Gauges[i].Labels) < seriesKey(s.Gauges[j].Name, s.Gauges[j].Labels)
+	})
+	sort.SliceStable(s.Histograms, func(i, j int) bool {
+		return seriesKey(s.Histograms[i].Name, s.Histograms[i].Labels) < seriesKey(s.Histograms[j].Name, s.Histograms[j].Labels)
+	})
+}
+
 // CounterValue returns a registered counter's value by name+labels, 0
 // if absent — a convenience for tests and reconciliation checks.
 func (s Snapshot) CounterValue(name string, labels ...Label) uint64 {

@@ -92,6 +92,7 @@ type Generator struct {
 	rng   *rand.Rand
 	sizes SizeDist
 	flows []packet.BuildSpec
+	zipf  *rand.Zipf
 	next  int
 	count uint64
 }
@@ -108,6 +109,11 @@ type Config struct {
 	Proto uint8
 	// Seed makes the generator deterministic (default 1).
 	Seed int64
+	// Zipf, when > 1, replaces the round-robin flow rotation with a
+	// Zipf(s=Zipf) popularity draw: flow 0 is the heaviest hitter and
+	// probability falls off by rank — the elephant-and-mice mix
+	// heavy-hitter detection is evaluated against. 0 keeps round-robin.
+	Zipf float64
 }
 
 // New creates a generator.
@@ -140,14 +146,23 @@ func New(cfg Config) *Generator {
 			TTL:     64,
 		})
 	}
+	if cfg.Zipf > 1 && cfg.Flows > 1 {
+		g.zipf = rand.NewZipf(g.rng, cfg.Zipf, 1, uint64(cfg.Flows-1))
+	}
 	return g
 }
 
-// Next returns the next packet spec, round-robin over flows with a
-// fresh size sample.
+// Next returns the next packet spec with a fresh size sample:
+// round-robin over flows, or a Zipf popularity draw when Config.Zipf
+// set one up.
 func (g *Generator) Next() packet.BuildSpec {
-	spec := g.flows[g.next]
-	g.next = (g.next + 1) % len(g.flows)
+	var spec packet.BuildSpec
+	if g.zipf != nil {
+		spec = g.flows[g.zipf.Uint64()]
+	} else {
+		spec = g.flows[g.next]
+		g.next = (g.next + 1) % len(g.flows)
+	}
 	spec.Size = g.sizes.Next()
 	g.count++
 	return spec
@@ -155,6 +170,10 @@ func (g *Generator) Next() packet.BuildSpec {
 
 // Count returns how many specs were produced.
 func (g *Generator) Count() uint64 { return g.count }
+
+// FlowSpec returns the i-th flow's build spec. Under Zipf popularity,
+// lower ranks are more popular — FlowSpec(0) is the heaviest hitter.
+func (g *Generator) FlowSpec(i int) packet.BuildSpec { return g.flows[i] }
 
 // Flows returns the number of distinct flows.
 func (g *Generator) Flows() int { return len(g.flows) }

@@ -98,3 +98,43 @@ func TestGeneratorDefaults(t *testing.T) {
 		t.Errorf("default size = %d", s.Size)
 	}
 }
+
+func TestZipfFlowMixProducesElephants(t *testing.T) {
+	g := New(Config{Flows: 50, Seed: 11, Zipf: 1.5})
+	counts := make(map[uint16]int) // src port identifies the flow
+	portOf := func(i int) uint16 { return g.FlowSpec(i).SrcPort }
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next().SrcPort]++
+	}
+	top := counts[portOf(0)]
+	if top < n/5 {
+		t.Fatalf("rank-0 flow got %d/%d packets, want a heavy hitter (>20%%)", top, n)
+	}
+	for rank := 5; rank < 50; rank += 11 {
+		if c := counts[portOf(rank)]; c >= top {
+			t.Fatalf("rank-%d flow (%d pkts) outweighs rank 0 (%d)", rank, c, top)
+		}
+	}
+	// Determinism: same seed, same draw sequence.
+	ga := New(Config{Flows: 50, Seed: 11, Zipf: 1.5})
+	gb := New(Config{Flows: 50, Seed: 11, Zipf: 1.5})
+	for i := 0; i < 500; i++ {
+		if ga.Next().SrcPort != gb.Next().SrcPort {
+			t.Fatalf("zipf draw %d diverged across identical seeds", i)
+		}
+	}
+}
+
+func TestZipfZeroKeepsRoundRobin(t *testing.T) {
+	g := New(Config{Flows: 4, Seed: 2})
+	var seen []uint16
+	for i := 0; i < 8; i++ {
+		seen = append(seen, g.Next().SrcPort)
+	}
+	for i := 0; i < 4; i++ {
+		if seen[i] != seen[i+4] {
+			t.Fatalf("round-robin broken at %d: %v", i, seen)
+		}
+	}
+}
