@@ -69,6 +69,8 @@ func run() int {
 		"fuse sequential graph segments into run-to-completion runtimes (false = one ring per NF)")
 	burst := flag.Int("burst", dataplane.DefaultBurst,
 		"dataplane burst size: packets moved per ring operation (1 = scalar compatibility mode)")
+	shards := flag.Int("shards", dataplane.DefaultShards(),
+		"flow-sharded execution domains: the whole plan replicated per shard, packets dispatched by 5-tuple hash (1 = classic single-shard layout; default = cores, capped at 8)")
 	ringPolicy := flag.String("ring-policy", "block",
 		"receive-ring backpressure policy: block (lossless), drop-tail, or shed-lowest-priority")
 	spinLimit := flag.Int("spin-limit", dataplane.DefaultSpinLimit,
@@ -163,6 +165,7 @@ func run() int {
 		SpinLimit:       *spinLimit,
 		RingSize:        *ringSize,
 		Fusion:          fusionMode,
+		Shards:          *shards,
 	}
 	if bpPolicy == dataplane.BPShedLowestPriority {
 		// Rank NFs from the policy's Priority rules so only the
@@ -170,6 +173,7 @@ func run() int {
 		opts.NodePriority = pol.PriorityRanks()
 	}
 	fmt.Printf("burst size:        %d\n", *burst)
+	fmt.Printf("shards:            %d\n", *shards)
 	fmt.Printf("execution engine:  fusion %s\n", fusionMode)
 	fmt.Printf("ring policy:       %s (spin limit %d)\n", bpPolicy, *spinLimit)
 	if *pcapPath != "" {

@@ -29,6 +29,7 @@ type healthFlags struct {
 	seed    *int64
 	sloP99  *time.Duration
 	zipf    *float64
+	shards  *int
 	asJSON  *bool
 }
 
@@ -42,6 +43,7 @@ func newHealthFlags(name string) *healthFlags {
 		seed:    fs.Int64("seed", 1, "traffic seed for the in-process run"),
 		sloP99:  fs.Duration("slo-p99", 0, "p99 latency objective for the in-process run (0 = none)"),
 		zipf:    fs.Float64("zipf", 1.3, "Zipf skew of the in-process flow mix (0 = round-robin)"),
+		shards:  fs.Int("shards", 1, "flow-sharded execution domains for the in-process run (1 = unsharded)"),
 		asJSON:  fs.Bool("json", false, "emit raw JSON instead of the report"),
 	}
 }
@@ -120,6 +122,7 @@ func runDiagnosis(hf *healthFlags) (diagnose.HealthReport, diagnose.TopFlowsRepo
 		FlowAccount:    sketch,
 		FlowSampleRate: 1, // short run: sample everything for exact counts
 		E2ESampleRate:  1,
+		Shards:         *hf.shards,
 		OnServer:       func(*dataplane.Server) { d.SampleNow() }, // window start
 	}
 	if _, err := experiments.RunLiveGraphOpts(res.Graph, *hf.packets, gen, opts); err != nil {
@@ -137,12 +140,34 @@ func printHealth(rep diagnose.HealthReport) {
 		fmt.Printf("  reason: %s\n", r)
 	}
 	if len(rep.Bottlenecks) > 0 {
+		// The shard column only appears when any instance carries one
+		// (i.e. the diagnosed server is sharded).
+		sharded := false
+		for _, b := range rep.Bottlenecks {
+			if b.Shard != "" {
+				sharded = true
+				break
+			}
+		}
 		fmt.Printf("\nBOTTLENECKS (by utilization ρ = arrival × service time)\n")
-		fmt.Printf("  %-12s %-5s %6s %10s %12s %8s  %s\n", "nf", "mid", "ρ", "arrive/s", "service µs", "ring", "verdict")
+		if sharded {
+			fmt.Printf("  %-12s %-5s %-5s %6s %10s %12s %8s  %s\n", "nf", "mid", "shard", "ρ", "arrive/s", "service µs", "ring", "verdict")
+		} else {
+			fmt.Printf("  %-12s %-5s %6s %10s %12s %8s  %s\n", "nf", "mid", "ρ", "arrive/s", "service µs", "ring", "verdict")
+		}
 		for _, b := range rep.Bottlenecks {
 			ring := "-"
 			if b.RingCapacity > 0 {
 				ring = fmt.Sprintf("%.0f%%", 100*b.RingFill)
+			}
+			if sharded {
+				shard := b.Shard
+				if shard == "" {
+					shard = "-"
+				}
+				fmt.Printf("  %-12s %-5s %-5s %6.2f %10.0f %12.1f %8s  %s\n",
+					b.NF, b.MID, shard, b.Rho, b.ArrivalPPS, b.MeanServiceNS/1e3, ring, b.Verdict)
+				continue
 			}
 			fmt.Printf("  %-12s %-5s %6.2f %10.0f %12.1f %8s  %s\n",
 				b.NF, b.MID, b.Rho, b.ArrivalPPS, b.MeanServiceNS/1e3, ring, b.Verdict)
@@ -153,8 +178,12 @@ func printHealth(rep diagnose.HealthReport) {
 		if !s.Met {
 			status = "MISSED"
 		}
-		fmt.Printf("\nSLO mid=%s: p99 %.1fµs vs target %.1fµs — %s (burn %.1fx, %d/%d over)\n",
-			s.MID, float64(s.WindowP99NS)/1e3, float64(s.TargetP99NS)/1e3, status,
+		ident := "mid=" + s.MID
+		if s.Shard != "" {
+			ident += " shard=" + s.Shard
+		}
+		fmt.Printf("\nSLO %s: p99 %.1fµs vs target %.1fµs — %s (burn %.1fx, %d/%d over)\n",
+			ident, float64(s.WindowP99NS)/1e3, float64(s.TargetP99NS)/1e3, status,
 			s.BurnRate, s.Violations, s.WindowCount)
 	}
 }

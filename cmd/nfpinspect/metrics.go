@@ -27,6 +27,7 @@ func metricsCmd(args []string) {
 	packets := fs.Int("packets", 2000, "packets for the in-process run")
 	seed := fs.Int64("seed", 1, "traffic seed for the in-process run")
 	traceSample := fs.Int("trace-sample", 0, "trace ~1/N packets during the in-process run")
+	shards := fs.Int("shards", 1, "flow-sharded execution domains for the in-process run (1 = unsharded)")
 	asJSON := fs.Bool("json", false, "emit the raw JSON dump instead of the table")
 	watch := fs.Duration("watch", 0, "re-poll -addr at this interval and print counter deltas (requires -addr)")
 	_ = fs.Parse(args)
@@ -45,7 +46,7 @@ func metricsCmd(args []string) {
 	case *addr != "":
 		dump = fetchDump(*addr)
 	case *chain != "":
-		dump = runDump(*chain, *packets, *seed, *traceSample, 0)
+		dump = runDump(*chain, *packets, *seed, *traceSample, 0, *shards)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: nfpinspect metrics (-addr HOST:PORT | -chain nf1,nf2,...) [-json]")
 		os.Exit(2)
@@ -82,7 +83,7 @@ func fetchDump(addr string) telemetry.Dump {
 	return dump
 }
 
-func runDump(chain string, packets int, seed int64, traceSample, traceBuf int) telemetry.Dump {
+func runDump(chain string, packets int, seed int64, traceSample, traceBuf, shards int) telemetry.Dump {
 	names := strings.Split(chain, ",")
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
@@ -93,7 +94,7 @@ func runDump(chain string, packets int, seed int64, traceSample, traceBuf int) t
 	}
 	gen := trafficgen.New(trafficgen.Config{Flows: 32, Seed: seed})
 	live, err := experiments.RunLiveGraphOpts(res.Graph, packets, gen,
-		experiments.LiveOptions{TraceSampleRate: traceSample, TraceCapacity: traceBuf})
+		experiments.LiveOptions{TraceSampleRate: traceSample, TraceCapacity: traceBuf, Shards: shards})
 	if err != nil {
 		metricsFail(err)
 	}

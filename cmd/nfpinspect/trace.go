@@ -48,7 +48,7 @@ func (tf *traceFlags) events(cmd string) []telemetry.TraceEvent {
 	case *tf.addr != "":
 		return fetchDump(*tf.addr).Traces
 	case *tf.chain != "":
-		return runDump(*tf.chain, *tf.packets, *tf.seed, *tf.traceSample, *tf.traceBuf).Traces
+		return runDump(*tf.chain, *tf.packets, *tf.seed, *tf.traceSample, *tf.traceBuf, 1).Traces
 	}
 	fmt.Fprintf(os.Stderr, "usage: nfpinspect %s (-addr HOST:PORT | -chain nf1,nf2,...) [-json]\n", cmd)
 	os.Exit(2)

@@ -73,7 +73,8 @@ const DefaultSpinLimit = 256
 // one packet never collide) BEFORE the enqueue, so the consumer — who
 // may dequeue instantly — always finds it and closes the ring-wait
 // span against it.
-func (s *Server) ringPush(pr *planRuntime, n *nodeRT, pkts []*packet.Packet, cursor int64) {
+func (sh *shard) ringPush(pr *planRuntime, n *nodeRT, pkts []*packet.Packet, cursor int64) {
+	s := sh.srv
 	if tr := s.tracer; tr != nil {
 		for _, pkt := range pkts {
 			if tr.Sampled(pkt.Meta.PID) {
@@ -89,7 +90,7 @@ func (s *Server) ringPush(pr *planRuntime, n *nodeRT, pkts []*packet.Packet, cur
 		w := ring.Waiter{SpinLimit: s.cfg.SpinLimit}
 		for len(rem) > 0 {
 			if n.canShed && (n.shedImmediate || w.Exhausted()) {
-				s.shedBurst(pr, n, rem)
+				sh.shedBurst(pr, n, rem)
 				rem = nil
 				break
 			}
@@ -116,7 +117,8 @@ func (s *Server) ringPush(pr *planRuntime, n *nodeRT, pkts []*packet.Packet, cur
 // counter). Sheds count references — parallel branch tails of one
 // packet shed independently — while the drop route resolves to one
 // terminal drop per packet.
-func (s *Server) shedBurst(pr *planRuntime, n *nodeRT, pkts []*packet.Packet) {
+func (sh *shard) shedBurst(pr *planRuntime, n *nodeRT, pkts []*packet.Packet) {
+	s := sh.srv
 	n.sheds.Add(uint64(len(pkts)))
 	s.sheds.Add(uint64(len(pkts)))
 	for _, pkt := range pkts {
@@ -127,6 +129,6 @@ func (s *Server) shedBurst(pr *planRuntime, n *nodeRT, pkts []*packet.Packet) {
 		if s.tracer.Sampled(pkt.Meta.PID) {
 			cursor = s.tracer.TakeCursor(pkt.Meta.PID, pkt.Meta.Version, n.head().plan.ID)
 		}
-		s.deliverDrop(pr, n.head().plan.DropTo, pkt, cursor)
+		sh.deliverDrop(pr, n.head().plan.DropTo, pkt, cursor)
 	}
 }

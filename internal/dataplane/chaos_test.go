@@ -42,7 +42,7 @@ func (c *chaosCollector) wait() int {
 // nodesOf returns the segment runtimes of a MID (test-side
 // introspection). With fusion off every segment is one NF.
 func nodesOf(s *Server, mid uint32) []*nodeRT {
-	pr := (*s.plans.Load())[mid]
+	pr := (*s.shards[0].plans.Load())[mid]
 	if pr == nil {
 		return nil
 	}

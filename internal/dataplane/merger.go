@@ -59,13 +59,14 @@ type atEntry struct {
 // a goroutine with its own receive queue and a local Accumulating
 // Table, fed by the merger agent's PID hash.
 type merger struct {
-	id     int
-	name   string // "merger-<id>" for trace events
-	in     chan mergeItem
-	at     map[atKey]*atEntry
-	server *Server
+	id   int
+	name string // "merger-<id>" for trace events (shard via the span tag)
+	in   chan mergeItem
+	at   map[atKey]*atEntry
+	sh   *shard
 
-	// Registry-backed per-instance metrics (labelled instance=<id>).
+	// Registry-backed per-instance metrics (labelled instance=<id>,
+	// plus shard=<i> on a sharded server).
 	processed *telemetry.Counter
 	merged    *telemetry.Counter
 	drops     *telemetry.Counter
@@ -74,20 +75,21 @@ type merger struct {
 	mergeLat  *telemetry.Histogram
 }
 
-func newMerger(id, queue int, s *Server) *merger {
-	inst := telemetry.L("instance", strconv.Itoa(id))
+func newMerger(id, queue int, sh *shard) *merger {
+	tel := sh.srv.tel
+	inst := sh.labelShard([]telemetry.Label{telemetry.L("instance", strconv.Itoa(id))})
 	return &merger{
 		id:        id,
 		name:      "merger-" + strconv.Itoa(id),
 		in:        make(chan mergeItem, queue),
 		at:        make(map[atKey]*atEntry),
-		server:    s,
-		processed: s.tel.Counter("nfp_merger_processed_total", inst),
-		merged:    s.tel.Counter("nfp_merger_merged_total", inst),
-		drops:     s.tel.Counter("nfp_merger_drops_total", inst),
-		atSize:    s.tel.Gauge("nfp_merger_at_size", inst),
-		atHW:      s.tel.Gauge("nfp_merger_at_high_water", inst),
-		mergeLat:  s.tel.Histogram("nfp_merger_merge_latency_ns", inst),
+		sh:        sh,
+		processed: tel.Counter("nfp_merger_processed_total", inst...),
+		merged:    tel.Counter("nfp_merger_merged_total", inst...),
+		drops:     tel.Counter("nfp_merger_drops_total", inst...),
+		atSize:    tel.Gauge("nfp_merger_at_size", inst...),
+		atHW:      tel.Gauge("nfp_merger_at_high_water", inst...),
+		mergeLat:  tel.Histogram("nfp_merger_merge_latency_ns", inst...),
 	}
 }
 
@@ -99,7 +101,7 @@ func newMerger(id, queue int, s *Server) *merger {
 // tracked exactly). With burst=1 every item is its own burst and the
 // behavior is identical to the scalar merger.
 func (m *merger) run() {
-	burst := m.server.cfg.Burst
+	burst := m.sh.srv.cfg.Burst
 	batch := make([]mergeItem, 0, burst)
 	for item := range m.in {
 		batch = append(batch[:0], item)
@@ -140,11 +142,11 @@ func (m *merger) handle(item mergeItem) {
 	if item.dropped {
 		e.dropped = true
 	}
-	if m.server.tracer.Sampled(key.pid) {
+	if m.sh.srv.tracer.Sampled(key.pid) {
 		e.tails = append(e.tails, mergeTail{ver: item.pkt.Meta.Version, cursor: item.cursor})
 	}
 
-	spec := m.server.joinSpec(item.mid, item.join)
+	spec := m.sh.joinSpec(item.mid, item.join)
 	if e.count < spec.ExpectTails {
 		return
 	}
@@ -158,7 +160,7 @@ func (m *merger) handle(item mergeItem) {
 // merging operations to the base copy, release the other copies, and
 // run the continuation.
 func (m *merger) finalize(mid uint32, spec JoinSpec, e *atEntry) {
-	pr := m.server.planRT(mid)
+	pr := m.sh.planRT(mid)
 	base := e.versions[spec.BaseVersion]
 
 	// Close every sampled tail's merge-wait span against one shared
@@ -167,13 +169,14 @@ func (m *merger) finalize(mid uint32, spec JoinSpec, e *atEntry) {
 	// the surviving base chain resumes — so the base chain still tiles
 	// exactly (its own merge-wait ends where the merge span begins).
 	var cursor int64
-	if tr := m.server.tracer; tr != nil && len(e.tails) > 0 {
+	if tr := m.sh.srv.tracer; tr != nil && len(e.tails) > 0 {
 		cursor = time.Now().UnixNano()
 		for _, tl := range e.tails {
 			tr.RecordSpan(telemetry.TraceEvent{
 				PID: e.pid, MID: mid, Ver: tl.ver,
 				Stage: telemetry.StageMergeWait, Name: m.name,
 				Join: spec.ID + 1, Begin: tl.cursor, TS: cursor,
+				Shard: m.sh.spanID,
 			})
 		}
 	}
@@ -195,7 +198,7 @@ func (m *merger) finalize(mid uint32, spec JoinSpec, e *atEntry) {
 			// the drop stay attributed to the packet.
 			base = packet.NewNil(packet.Meta{MID: mid, PID: e.pid, Version: spec.BaseVersion})
 		}
-		m.server.deliverDrop(pr, spec.DropTo, base, cursor)
+		m.sh.deliverDrop(pr, spec.DropTo, base, cursor)
 		return
 	}
 
@@ -211,7 +214,7 @@ func (m *merger) finalize(mid uint32, spec JoinSpec, e *atEntry) {
 			// A malformed copy (e.g. truncated beyond the op's field)
 			// degrades to passing the base through unmodified; the
 			// operator sees the count.
-			m.server.mergeErrs.Add(1)
+			m.sh.srv.mergeErrs.Add(1)
 			break
 		}
 	}
@@ -233,14 +236,15 @@ func (m *merger) finalize(mid uint32, spec JoinSpec, e *atEntry) {
 		// The merge span covers applying the merging operations; its
 		// end is the base chain's ongoing cursor.
 		now := time.Now().UnixNano()
-		m.server.tracer.RecordSpan(telemetry.TraceEvent{
+		m.sh.srv.tracer.RecordSpan(telemetry.TraceEvent{
 			PID: e.pid, MID: mid, Ver: base.Meta.Version,
 			Stage: telemetry.StageMerge, Name: m.name,
 			Join: spec.ID + 1, Begin: cursor, TS: now,
+			Shard: m.sh.spanID,
 		})
 		cursor = now
 	}
-	m.server.exec(pr, spec.Next, base, cursor)
+	m.sh.exec(pr, spec.Next, base, cursor)
 }
 
 // applyMergeOp applies one §5.3 merging operation to the base packet.

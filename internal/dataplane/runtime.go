@@ -76,6 +76,7 @@ type nodeRT struct {
 	nfs    []segNF // execution order; nfs[0] owns the receive ring
 	rx     *ring.MPSC
 	server *Server
+	sh     *shard // the shard whose goroutines run this segment
 	pr     *planRuntime
 
 	// Health and restart state, segment-scoped. healthy flips false on
@@ -201,10 +202,11 @@ func (n *nodeRT) dropBurst(s *segNF, pkts []*packet.Packet, cause *telemetry.Cou
 			tracer.RecordSpan(telemetry.TraceEvent{
 				PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
 				Stage: stage, Name: s.plan.NF.String(), Begin: c, TS: now,
+				Shard: n.sh.spanID,
 			})
 			c = now
 		}
-		n.server.deliverDrop(n.pr, s.plan.DropTo, pkt, c)
+		n.sh.deliverDrop(n.pr, s.plan.DropTo, pkt, c)
 	}
 }
 
@@ -256,7 +258,7 @@ func (n *nodeRT) ringWaitSpans(tracer *telemetry.Tracer, pkts []*packet.Packet) 
 				PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
 				Stage: telemetry.StageRingWait, Name: h.plan.NF.String(),
 				Begin: tracer.TakeCursor(pkt.Meta.PID, pkt.Meta.Version, h.plan.ID),
-				TS:    t1,
+				TS:    t1, Shard: n.sh.spanID,
 			})
 		}
 	}
@@ -266,11 +268,11 @@ func (n *nodeRT) ringWaitSpans(tracer *telemetry.Tracer, pkts []*packet.Packet) 
 // nfSpan records one packet's NF service span against the burst's
 // amortized invoke interval. Out of line for the same hot-loop code
 // size reason as ringWaitSpans.
-func (s *segNF) nfSpan(tracer *telemetry.Tracer, pkt *packet.Packet, begin, end int64) {
+func (s *segNF) nfSpan(tracer *telemetry.Tracer, pkt *packet.Packet, begin, end int64, shard int) {
 	tracer.RecordSpan(telemetry.TraceEvent{
 		PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
 		Stage: telemetry.StageNF, Name: s.plan.NF.String(),
-		Begin: begin, TS: end,
+		Begin: begin, TS: end, Shard: shard,
 	})
 }
 
@@ -324,7 +326,7 @@ func (n *nodeRT) processBurst(pkts []*packet.Packet) {
 		dropped := 0
 		for i, pkt := range pkts {
 			if tracer.Sampled(pkt.Meta.PID) {
-				s.nfSpan(tracer, pkt, begin, cursor)
+				s.nfSpan(tracer, pkt, begin, cursor, n.sh.spanID)
 			}
 			if n.verdicts[i] == nf.Drop {
 				dropped++
@@ -332,7 +334,7 @@ func (n *nodeRT) processBurst(pkts []*packet.Packet) {
 				// the dropping intention (the packet reference rides along
 				// so the merger can release the buffer once all tails
 				// report).
-				n.server.deliverDrop(n.pr, s.plan.DropTo, pkt, cursor)
+				n.sh.deliverDrop(n.pr, s.plan.DropTo, pkt, cursor)
 				continue
 			}
 			pkts[kept] = pkt
@@ -347,5 +349,5 @@ func (n *nodeRT) processBurst(pkts []*packet.Packet) {
 		s.pktsOut.Add(uint64(kept))
 		pkts = pkts[:kept]
 	}
-	n.server.execBurst(n.pr, n.tail().plan.Next, pkts, cursor)
+	n.sh.execBurst(n.pr, n.tail().plan.Next, pkts, cursor)
 }

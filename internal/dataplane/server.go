@@ -2,6 +2,7 @@ package dataplane
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -21,6 +22,24 @@ import (
 // assume.
 const DefaultBurst = 32
 
+// DefaultShards is the sharding default for nfpd: one shard per CPU,
+// capped — each shard already fans out into classifier + runtime +
+// merger goroutines, so past the cap extra shards only oversubscribe
+// the scheduler.
+func DefaultShards() int {
+	n := runtime.NumCPU()
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// atomicPlans is the COW installed-graph map every shard publishes.
+type atomicPlans = atomic.Pointer[map[uint32]*planRuntime]
+
 // FlowObserver receives sampled per-flow accounting from the
 // classifier — the hook the diagnosis layer's heavy-hitter sketch
 // plugs into without the dataplane importing it. Implementations must
@@ -34,7 +53,8 @@ type FlowObserver interface {
 // Config sizes an NFP server.
 type Config struct {
 	// PoolSize is the number of packet buffers in the shared pool
-	// (default 4096).
+	// (default 4096). With Shards > 1 the pool is partitioned evenly
+	// across the shards, so size it as a whole-server budget.
 	PoolSize int
 	// BufSize is the per-buffer byte size; it must leave headroom over
 	// the MTU for AH encapsulation (default 2048).
@@ -44,6 +64,7 @@ type Config struct {
 	// Mergers is the number of merger instances the merger agent
 	// load-balances across (default 2 — §6.3.3: "two merger instances
 	// are sufficient ... with the parallelism degree of up to 5").
+	// Sharded servers run this many mergers per shard.
 	Mergers int
 	// MergerQueue is each merger's input queue length (default 1024).
 	MergerQueue int
@@ -55,6 +76,25 @@ type Config struct {
 	// is the bit-exact compatibility mode — it reproduces the scalar
 	// per-packet dataplane behavior, metric for metric.
 	Burst int
+	// Shards replicates the whole dataplane (RSS-style flow sharding):
+	// each shard gets its own classifier loop, plan runtimes and rings,
+	// merger instances and mempool partition, and ingress is dispatched
+	// by symmetric 5-tuple flow hash so every packet of a flow — and
+	// all per-flow NF state — stays on one shard, lock-free. Default 1:
+	// the classic single-instance layout with no ingress rings and
+	// byte-identical behavior and telemetry. When sharded, per-NF and
+	// per-merger series gain a shard=<i> label and Inject* transfers
+	// packet ownership unconditionally (see Inject).
+	Shards int
+	// IngressRing is each shard's ingress ring capacity (default 1024;
+	// sharded mode only). A full ingress ring applies lossless
+	// backpressure to the injector, like a full NIC receive queue.
+	IngressRing int
+	// ShardedOutputs, with Shards > 1, skips the output fan-in: each
+	// shard's finished packets surface on its own channel (Outputs()),
+	// and Output() returns nil. Parallel consumers drain shards
+	// without the single-channel hop.
+	ShardedOutputs bool
 	// Registry provides NF factories (default nf.NewRegistry()).
 	Registry *nf.Registry
 	// Telemetry receives every dataplane metric. Each server should get
@@ -133,6 +173,12 @@ func (c *Config) setDefaults() {
 	if c.Burst < 1 {
 		c.Burst = 1
 	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.IngressRing == 0 {
+		c.IngressRing = 1024
+	}
 	if c.Registry == nil {
 		c.Registry = nf.NewRegistry()
 	}
@@ -175,7 +221,10 @@ func pidMask(rate int) uint64 {
 	return p - 1
 }
 
-// planRuntime is one installed service graph with its segment runtimes.
+// planRuntime is one shard's installation of a service graph: the
+// shared compiled Plan plus this shard's segment runtimes. A sharded
+// server holds Config.Shards planRuntimes per MID, one per shard, all
+// referencing the same immutable Plan.
 type planRuntime struct {
 	plan *Plan
 	// rts holds one runtime per fused segment (per NF when fusion is
@@ -189,19 +238,29 @@ type planRuntime struct {
 }
 
 // Server is one NFP server (Figure 3): shared memory pool, classifier,
-// NF runtimes, merger agent and merger instances.
+// and one or more shards, each holding NF runtimes, merger instances
+// and (when sharded) its own classifier loop over a mempool partition.
 type Server struct {
 	cfg        Config
 	pool       *mempool.Pool
 	classifier Classifier
 	plansMu    sync.Mutex // serializes graph installation
-	plans      atomic.Pointer[map[uint32]*planRuntime]
-	mergers    []*merger
-	out        chan *packet.Packet
+	shards     []*shard
+	// out is the fan-in output channel (nil when Config.ShardedOutputs
+	// exposes the per-shard channels instead).
+	out chan *packet.Packet
 
 	started atomic.Bool
 	stopped atomic.Bool
 	wg      sync.WaitGroup
+	fanWG   sync.WaitGroup
+
+	// Sharded ingress accounting for the Stop drain: dispatched counts
+	// packets accepted into ingress rings, ingressCleared counts
+	// packets a shard loop fully resolved (injected or freed). They
+	// match exactly when the ingress rings are empty.
+	dispatched     atomic.Uint64
+	ingressCleared atomic.Uint64
 
 	// End-to-end counters, registry-backed (Config.Telemetry).
 	tel       *telemetry.Registry
@@ -212,6 +271,10 @@ type Server struct {
 	copies    *telemetry.Counter
 	copiedB   *telemetry.Counter // bytes duplicated (resource overhead meter)
 	mergeErrs *telemetry.Counter
+	// unroutable counts sharded-ingress packets freed because no rule
+	// matched or the MID had no graph (the sharded analog of a false
+	// Inject return, where ownership already transferred).
+	unroutable *telemetry.Counter
 	// Overload/fault counters: ring sheds (packets lost to the
 	// drop-tail/shed policies) and the spin/park activity of every
 	// backpressured retry loop.
@@ -230,7 +293,6 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:  cfg,
 		pool: mempool.New(cfg.PoolSize, cfg.BufSize),
-		out:  make(chan *packet.Packet, cfg.OutputQueue),
 	}
 	s.tel = cfg.Telemetry
 	s.tracer = telemetry.NewTracer(cfg.TraceSampleRate, cfg.TraceCapacity)
@@ -243,6 +305,7 @@ func New(cfg Config) *Server {
 	s.copies = s.tel.Counter("nfp_copies_total")
 	s.copiedB = s.tel.Counter("nfp_copied_bytes_total")
 	s.mergeErrs = s.tel.Counter("nfp_merge_errors_total")
+	s.unroutable = s.tel.Counter("nfp_ingress_unroutable_total")
 	s.sheds = s.tel.Counter("nfp_ring_sheds_total")
 	s.bpYields = s.tel.Counter("nfp_backpressure_yields_total")
 	s.bpParks = s.tel.Counter("nfp_backpressure_parks_total")
@@ -254,38 +317,126 @@ func New(cfg Config) *Server {
 		s.e2eOn = true
 		s.e2eMask = pidMask(cfg.E2ESampleRate)
 	}
+	sharded := cfg.Shards > 1
+	var parts []*mempool.Pool
+	if sharded {
+		parts = s.pool.Partition(cfg.Shards)
+	}
 	s.pool.MustRegister(s.tel)
-	s.plans.Store(&map[uint32]*planRuntime{})
 	// Keep a slice of the pool for the copies parallel stages create;
-	// see mempool.SetReserve for the deadlock this prevents.
+	// see mempool.SetReserve for the deadlock this prevents. On a
+	// partitioned pool the reserve distributes across the shards.
 	reserve := cfg.PoolSize / 8
 	if reserve < 8 {
 		reserve = cfg.PoolSize / 2
 	}
 	s.pool.SetReserve(reserve)
-	for i := 0; i < cfg.Mergers; i++ {
-		s.mergers = append(s.mergers, newMerger(i, cfg.MergerQueue, s))
+	if !sharded || !cfg.ShardedOutputs {
+		s.out = make(chan *packet.Packet, cfg.OutputQueue)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{id: i, srv: s}
+		if sharded {
+			sh.spanID = i + 1
+			sh.pool = parts[i]
+			sh.in = ring.NewMPSC(cfg.IngressRing)
+			sh.out = make(chan *packet.Packet, cfg.OutputQueue)
+			lbl := telemetry.L("shard", strconv.Itoa(i))
+			sh.ingress = s.tel.Counter("nfp_shard_ingress_total", lbl)
+			sh.inHW = s.tel.Gauge("nfp_shard_ingress_high_water", lbl)
+			s.tel.Gauge("nfp_shard_ingress_capacity", lbl).Set(int64(sh.in.Cap()))
+		} else {
+			sh.pool = s.pool
+			sh.out = s.out
+		}
+		sh.plans.Store(&map[uint32]*planRuntime{})
+		for m := 0; m < cfg.Mergers; m++ {
+			sh.mergers = append(sh.mergers, newMerger(m, cfg.MergerQueue, sh))
+		}
+		s.shards = append(s.shards, sh)
 	}
 	return s
 }
 
+// sharded reports whether the server replicates the plan across
+// multiple shards.
+func (s *Server) sharded() bool { return len(s.shards) > 1 }
+
+// Shards returns the number of dataplane shards.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// shardMix finalizes the flow hash before the shard modulus
+// (Murmur3's avalanche step): FNV's low bits are weak on structured
+// key sets — real traffic with clustered addresses and sequential
+// ports can otherwise starve entire shards.
+func shardMix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// ShardOfKey returns the shard a flow executes on: the (mixed)
+// symmetric 5-tuple hash modulo the shard count, so both directions of
+// a flow — what stateful NFs key their tables by — land on the same
+// shard.
+func (s *Server) ShardOfKey(k flow.Key) int {
+	if !s.sharded() {
+		return 0
+	}
+	return int(shardMix(k.SymmetricHash()) % uint64(len(s.shards)))
+}
+
+// ShardOf returns the shard a packet will be dispatched to.
+// Unparseable packets fall to shard 0, where classification rejects
+// them.
+func (s *Server) ShardOf(pkt *packet.Packet) int {
+	if !s.sharded() {
+		return 0
+	}
+	k, err := flow.FromPacket(pkt)
+	if err != nil {
+		return 0
+	}
+	return s.ShardOfKey(k)
+}
+
+// ShardPool returns shard i's mempool partition (the shared pool when
+// unsharded) — per-shard traffic sources allocate here for full buffer
+// locality.
+func (s *Server) ShardPool(i int) *mempool.Pool { return s.shards[i].pool }
+
 // AddGraph compiles and installs a service graph under mid, creating
-// fresh NF instances from the registry. The first installed graph
-// becomes the classifier default.
+// fresh NF instances from the registry — an independent instance set
+// per shard, so per-flow NF state stays shard-local. The first
+// installed graph becomes the classifier default.
 func (s *Server) AddGraph(mid uint32, g graph.Node) error {
-	return s.AddGraphInstances(mid, g, nil)
+	return s.AddGraphProvide(mid, g, nil)
 }
 
 // AddGraphInstances installs a graph using the provided NF instances
 // where present (tests and examples use this to inspect NF state);
-// missing instances come from the registry.
+// missing instances come from the registry. It requires a single-shard
+// server: one instance cannot serve multiple shards without breaking
+// state locality — sharded callers use AddGraphProvide.
+func (s *Server) AddGraphInstances(mid uint32, g graph.Node, instances map[graph.NF]nf.NF) error {
+	if instances != nil && s.sharded() {
+		return fmt.Errorf("dataplane: AddGraphInstances with explicit instances requires Shards=1 (a shared instance would cross shards); use AddGraphProvide")
+	}
+	return s.AddGraphProvide(mid, g, func(_ int, n graph.NF) nf.NF { return instances[n] })
+}
+
+// AddGraphProvide installs a graph with per-shard NF instances:
+// provide(shard, node) returns the instance for one node on one shard
+// (nil falls back to the registry). Each shard's instances are only
+// invoked from that shard's runtime goroutines.
 //
 // Installation is allowed while the server runs — the §7 elasticity
 // path ("we could simply create a new instance ... and modify the
 // forwarding table to redirect some flows to the new instance"): the
 // new graph's NF runtimes start immediately, and classifier rules can
 // then redirect flows to the new MID with zero packet loss.
-func (s *Server) AddGraphInstances(mid uint32, g graph.Node, instances map[graph.NF]nf.NF) error {
+func (s *Server) AddGraphProvide(mid uint32, g graph.Node, provide func(shard int, node graph.NF) nf.NF) error {
 	if s.stopped.Load() {
 		return fmt.Errorf("dataplane: server stopped")
 	}
@@ -293,6 +444,49 @@ func (s *Server) AddGraphInstances(mid uint32, g graph.Node, instances map[graph
 	if err != nil {
 		return err
 	}
+
+	s.plansMu.Lock()
+	if _, dup := (*s.shards[0].plans.Load())[mid]; dup {
+		s.plansMu.Unlock()
+		return fmt.Errorf("dataplane: MID %d already installed", mid)
+	}
+	prs := make([]*planRuntime, len(s.shards))
+	for i, sh := range s.shards {
+		pr, err := s.buildRuntime(sh, plan, provide)
+		if err != nil {
+			s.plansMu.Unlock()
+			return err
+		}
+		prs[i] = pr
+	}
+	var installed int
+	for i, sh := range s.shards {
+		old := *sh.plans.Load()
+		next := make(map[uint32]*planRuntime, len(old)+1)
+		for k, v := range old {
+			next[k] = v
+		}
+		next[mid] = prs[i]
+		sh.plans.Store(&next)
+		installed = len(next)
+	}
+	first := installed == 1
+	started := s.started.Load()
+	s.plansMu.Unlock()
+
+	if first {
+		s.classifier.SetDefault(mid)
+	}
+	if started {
+		for _, pr := range prs {
+			s.startRuntimes(pr)
+		}
+	}
+	return nil
+}
+
+// buildRuntime instantiates one shard's runtimes for a compiled plan.
+func (s *Server) buildRuntime(sh *shard, plan *Plan, provide func(int, graph.NF) nf.NF) (*planRuntime, error) {
 	pr := &planRuntime{plan: plan, owner: make([]*nodeRT, len(plan.Nodes))}
 	shedSet := plan.ShedSet(s.cfg.NodePriority)
 	// Segment layout: the shed-lowest-priority policy sheds into
@@ -308,17 +502,18 @@ func (s *Server) AddGraphInstances(mid uint32, g graph.Node, instances map[graph
 	} else {
 		segs = singletonSegments(len(plan.Nodes))
 	}
-	midLabel := telemetry.L("mid", strconv.FormatUint(uint64(mid), 10))
+	midLabel := telemetry.L("mid", strconv.FormatUint(uint64(plan.MID), 10))
 	if s.e2eOn {
-		pr.e2eLat = s.tel.Histogram("nfp_e2e_latency_ns", midLabel)
+		pr.e2eLat = s.tel.Histogram("nfp_e2e_latency_ns", sh.labelShard([]telemetry.Label{midLabel})...)
 	}
 	for _, seg := range segs {
 		head := &plan.Nodes[seg[0]]
-		headLabels := []telemetry.Label{telemetry.L("nf", head.NF.String()), midLabel}
+		headLabels := sh.labelShard([]telemetry.Label{telemetry.L("nf", head.NF.String()), midLabel})
 		n := &nodeRT{
 			nfs:           make([]segNF, len(seg)),
 			rx:            ring.NewMPSC(s.cfg.RingSize),
 			server:        s,
+			sh:            sh,
 			pr:            pr,
 			canShed:       s.cfg.RingPolicy == BPDropTail || (s.cfg.RingPolicy == BPShedLowestPriority && shedSet[seg[0]]),
 			shedImmediate: s.cfg.RingPolicy == BPDropTail,
@@ -332,14 +527,18 @@ func (s *Server) AddGraphInstances(mid uint32, g graph.Node, instances map[graph
 		s.tel.Gauge("nfp_nf_ring_capacity", headLabels...).Set(int64(n.rx.Cap()))
 		for k, id := range seg {
 			pn := &plan.Nodes[id]
-			inst := instances[pn.NF]
+			var inst nf.NF
+			if provide != nil {
+				inst = provide(sh.id, pn.NF)
+			}
 			if inst == nil {
+				var err error
 				inst, err = s.cfg.Registry.New(pn.NF.Name)
 				if err != nil {
-					return fmt.Errorf("dataplane: node %v: %w", pn.NF, err)
+					return nil, fmt.Errorf("dataplane: node %v: %w", pn.NF, err)
 				}
 			}
-			labels := []telemetry.Label{telemetry.L("nf", pn.NF.String()), midLabel}
+			labels := sh.labelShard([]telemetry.Label{telemetry.L("nf", pn.NF.String()), midLabel})
 			sn := &n.nfs[k]
 			sn.plan = pn
 			sn.pktsIn = s.tel.Counter("nfp_nf_packets_in_total", labels...)
@@ -359,30 +558,7 @@ func (s *Server) AddGraphInstances(mid uint32, g graph.Node, instances map[graph
 		n.healthy.Store(true)
 		pr.rts = append(pr.rts, n)
 	}
-
-	s.plansMu.Lock()
-	old := *s.plans.Load()
-	if _, dup := old[mid]; dup {
-		s.plansMu.Unlock()
-		return fmt.Errorf("dataplane: MID %d already installed", mid)
-	}
-	next := make(map[uint32]*planRuntime, len(old)+1)
-	for k, v := range old {
-		next[k] = v
-	}
-	next[mid] = pr
-	s.plans.Store(&next)
-	first := len(next) == 1
-	started := s.started.Load()
-	s.plansMu.Unlock()
-
-	if first {
-		s.classifier.SetDefault(mid)
-	}
-	if started {
-		s.startRuntimes(pr)
-	}
-	return nil
+	return pr, nil
 }
 
 // startRuntimes launches the segment runtime goroutines of one plan.
@@ -397,33 +573,71 @@ func (s *Server) startRuntimes(pr *planRuntime) {
 }
 
 // Classifier exposes the classification table for rule installation.
+// The table is shared by every shard's classifier loop (lookups are
+// lock-free COW reads).
 func (s *Server) Classifier() *Classifier { return &s.classifier }
 
 // Pool returns the shared packet pool; traffic generators must build
-// injected packets in pool buffers.
+// injected packets in pool buffers. On a sharded server the pool
+// delegates to the per-shard partitions round-robin; sources that know
+// their target shard use ShardPool for strict locality.
 func (s *Server) Pool() *mempool.Pool { return s.pool }
 
 // Output is the stream of packets that completed their service graph.
-// The consumer owns each packet and must Free it.
+// The consumer owns each packet and must Free it. Nil when
+// Config.ShardedOutputs routed outputs to per-shard channels.
 func (s *Server) Output() <-chan *packet.Packet { return s.out }
 
-// Start launches every NF runtime and merger goroutine.
+// Outputs returns the per-shard output channels (a single channel on
+// an unsharded server, or when the fan-in is active the fan-in
+// channel). Consumers own the packets and must Free them.
+func (s *Server) Outputs() []<-chan *packet.Packet {
+	if !s.sharded() || !s.cfg.ShardedOutputs {
+		return []<-chan *packet.Packet{s.out}
+	}
+	chans := make([]<-chan *packet.Packet, len(s.shards))
+	for i, sh := range s.shards {
+		chans[i] = sh.out
+	}
+	return chans
+}
+
+// Start launches every NF runtime, merger, and (when sharded) shard
+// classifier loop.
 func (s *Server) Start() error {
-	if len(*s.plans.Load()) == 0 {
+	if len(*s.shards[0].plans.Load()) == 0 {
 		return fmt.Errorf("dataplane: no graphs installed")
 	}
 	if !s.started.CompareAndSwap(false, true) {
 		return fmt.Errorf("dataplane: already started")
 	}
-	for _, pr := range *s.plans.Load() {
-		s.startRuntimes(pr)
-	}
-	for _, m := range s.mergers {
-		s.wg.Add(1)
-		go func(m *merger) {
-			defer s.wg.Done()
-			m.run()
-		}(m)
+	for _, sh := range s.shards {
+		for _, pr := range *sh.plans.Load() {
+			s.startRuntimes(pr)
+		}
+		for _, m := range sh.mergers {
+			s.wg.Add(1)
+			go func(m *merger) {
+				defer s.wg.Done()
+				m.run()
+			}(m)
+		}
+		if s.sharded() {
+			s.wg.Add(1)
+			go func(sh *shard) {
+				defer s.wg.Done()
+				sh.ingressLoop()
+			}(sh)
+			if s.out != nil {
+				s.fanWG.Add(1)
+				go func(ch chan *packet.Packet) {
+					defer s.fanWG.Done()
+					for p := range ch {
+						s.out <- p
+					}
+				}(sh.out)
+			}
+		}
 	}
 	s.wg.Add(1)
 	go func() {
@@ -434,9 +648,10 @@ func (s *Server) Start() error {
 }
 
 // supervise is the NF supervisor goroutine: it periodically scans every
-// installed node for crashed instances whose restart backoff elapsed
-// and swaps in fresh instances from the registry, so a panicking NF
-// degrades its own micrograph instead of killing the server.
+// installed node on every shard for crashed instances whose restart
+// backoff elapsed and swaps in fresh instances from the registry, so a
+// panicking NF degrades its own shard's micrograph instead of killing
+// the server.
 func (s *Server) supervise() {
 	// Scan often enough that the smallest configured backoff is honored
 	// promptly, but never busier than 4x the backoff rate.
@@ -450,9 +665,11 @@ func (s *Server) supervise() {
 	for !s.stopped.Load() {
 		time.Sleep(interval)
 		now := time.Now().UnixNano()
-		for _, pr := range *s.plans.Load() {
-			for _, n := range pr.rts {
-				n.maybeRestart(now)
+		for _, sh := range s.shards {
+			for _, pr := range *sh.plans.Load() {
+				for _, n := range pr.rts {
+					n.maybeRestart(now)
+				}
 			}
 		}
 	}
@@ -464,63 +681,123 @@ func (s *Server) Stop() {
 	if !s.started.Load() || s.stopped.Load() {
 		return
 	}
+	w := ring.Waiter{SpinLimit: s.cfg.SpinLimit}
+	// First drain the sharded ingress rings: a packet sitting there is
+	// not yet counted as injected, so the conservation wait below could
+	// otherwise pass early.
+	for s.dispatched.Load() > s.ingressCleared.Load() {
+		w.Wait()
+	}
 	// Wait until every injected packet surfaced as an output or a
 	// drop. The output channel consumer must keep draining until Stop
 	// returns, or this backpressures forever.
-	w := ring.Waiter{SpinLimit: s.cfg.SpinLimit}
+	w.Reset()
 	for s.injected.Value() > s.outCount.Value()+s.drops.Value() {
 		w.Wait()
 	}
 	s.stopped.Store(true)
-	for _, m := range s.mergers {
-		close(m.in)
+	for _, sh := range s.shards {
+		for _, m := range sh.mergers {
+			close(m.in)
+		}
 	}
 	s.wg.Wait()
-	close(s.out)
+	if s.sharded() {
+		for _, sh := range s.shards {
+			close(sh.out)
+		}
+		if s.out != nil {
+			// Fan-in goroutines drain the closed shard channels dry,
+			// then the single output closes.
+			s.fanWG.Wait()
+			close(s.out)
+		}
+	} else {
+		close(s.out)
+	}
 }
 
-// Inject classifies one packet (built in a pool buffer) and sends it
-// into its service graph. It reports false when classification fails;
-// the caller keeps ownership of rejected packets.
+// Inject sends one packet (built in a pool buffer) into the dataplane.
+//
+// Unsharded, it classifies inline and reports false when
+// classification fails — the caller keeps ownership of rejected
+// packets. Sharded, it dispatches the packet to its flow's shard
+// ingress ring (lossless backpressure when full) and always returns
+// true: ownership transfers unconditionally, and packets the shard's
+// classifier cannot route are freed there and counted on
+// nfp_ingress_unroutable_total.
 func (s *Server) Inject(pkt *packet.Packet) bool {
-	mid, ok := s.classifier.Classify(pkt)
-	if !ok {
-		return false
+	if !s.sharded() {
+		mid, ok := s.classifier.Classify(pkt)
+		if !ok {
+			return false
+		}
+		sh := s.shards[0]
+		pr := (*sh.plans.Load())[mid]
+		if pr == nil {
+			return false
+		}
+		return sh.injectInto(pr, pkt)
 	}
-	pr := (*s.plans.Load())[mid]
-	if pr == nil {
-		return false
-	}
-	return s.injectInto(pr, pkt)
+	s.dispatched.Add(1)
+	var one [1]*packet.Packet
+	one[0] = pkt
+	s.shards[s.ShardOf(pkt)].ingressPush(one[:])
+	return true
 }
 
 // InjectPreclassified sends a packet whose metadata (MID, PID,
 // version) was assigned elsewhere — the cross-server ingress path,
 // where the upstream server's classifier already tagged the packet and
 // the NSH shim carried the tags over the wire (§7). It reports false
-// when the MID has no installed graph.
+// when the MID has no installed graph. On a sharded server the packet
+// executes on its flow's shard (resolved by hash, like fresh ingress),
+// so cross-server flow affinity is preserved.
 func (s *Server) InjectPreclassified(pkt *packet.Packet) bool {
-	pr := (*s.plans.Load())[pkt.Meta.MID]
+	sh := s.shards[s.ShardOf(pkt)]
+	pr := (*sh.plans.Load())[pkt.Meta.MID]
 	if pr == nil {
 		return false
 	}
 	if pkt.Meta.Version == 0 {
 		pkt.Meta.Version = 1
 	}
-	return s.injectInto(pr, pkt)
+	return sh.injectInto(pr, pkt)
 }
 
-// InjectBatch classifies and injects a whole burst, the ingress analog
-// of DPDK burst receive: classification counters, the injected counter
-// and ring deliveries are amortized across the burst, and packets
-// sharing a first hop are enqueued with one batched ring operation.
+// InjectBatch injects a whole burst, the ingress analog of DPDK burst
+// receive.
 //
-// It returns the number of packets accepted. pkts is stably
-// partitioned: the accepted packets occupy pkts[:n] (in their original
-// relative order, already delivered), rejected packets — unclassified
-// or classified to a MID with no installed graph — are compacted to
-// pkts[n:] and remain owned by the caller.
+// Unsharded, it classifies inline with counters and ring deliveries
+// amortized across the burst, returns the number of packets accepted,
+// and stably partitions pkts: accepted packets occupy pkts[:n] (in
+// their original relative order, already delivered), rejected packets
+// — unclassified or classified to a MID with no installed graph — are
+// compacted to pkts[n:] and remain owned by the caller.
+//
+// Sharded, it dispatches runs of same-shard packets into the shard
+// ingress rings with one batched enqueue per run and returns
+// len(pkts); ownership transfers unconditionally (see Inject).
 func (s *Server) InjectBatch(pkts []*packet.Packet) int {
+	if len(pkts) == 0 {
+		return 0
+	}
+	if s.sharded() {
+		s.dispatched.Add(uint64(len(pkts)))
+		start, cur := 0, s.ShardOf(pkts[0])
+		for i := 1; i <= len(pkts); i++ {
+			sid := 0
+			if i < len(pkts) {
+				sid = s.ShardOf(pkts[i])
+				if sid == cur {
+					continue
+				}
+			}
+			s.shards[cur].ingressPush(pkts[start:i])
+			start, cur = i, sid
+		}
+		return len(pkts)
+	}
 	if len(pkts) == 1 {
 		// Scalar fast path: identical to Inject.
 		if s.Inject(pkts[0]) {
@@ -528,8 +805,9 @@ func (s *Server) InjectBatch(pkts []*packet.Packet) int {
 		}
 		return 0
 	}
+	sh := s.shards[0]
 	classified := s.classifier.ClassifyBatch(pkts)
-	plans := *s.plans.Load()
+	plans := *sh.plans.Load()
 
 	// Second stable partition: classified MIDs whose graph is not (yet)
 	// installed are rejected too, exactly like scalar Inject. Same
@@ -555,205 +833,21 @@ func (s *Server) InjectBatch(pkts []*packet.Packet) int {
 		for j < n && pkts[j].Meta.MID == mid {
 			j++
 		}
-		s.injectBurst(plans[mid], pkts[i:j])
+		sh.injectBurst(plans[mid], pkts[i:j])
 		i = j
 	}
 	return n
 }
-
-// classifySpan records the classify span of a sampled packet: it
-// begins at the source's Ingress stamp when one is set (and sane) so
-// ingress queueing is attributed, and ends at now — the cursor every
-// downstream span chains from.
-func (s *Server) classifySpan(pkt *packet.Packet, now int64) {
-	begin := pkt.Ingress
-	if begin <= 0 || begin > now {
-		begin = now
-	}
-	s.tracer.RecordSpan(telemetry.TraceEvent{
-		PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
-		Stage: telemetry.StageClassify, Name: "classifier",
-		Begin: begin, TS: now,
-	})
-}
-
-// injectBurst sends a burst of same-MID packets into their graph.
-func (s *Server) injectBurst(pr *planRuntime, pkts []*packet.Packet) {
-	now := time.Now().UnixNano()
-	for _, pkt := range pkts {
-		// Pre-parse so NFs sharing the packet in a no-copy parallel
-		// group only read the layout cache (see injectInto).
-		_ = pkt.Parse()
-		if s.tracer.Sampled(pkt.Meta.PID) {
-			s.classifySpan(pkt, now)
-		}
-	}
-	s.injected.Add(uint64(len(pkts)))
-	s.execBurst(pr, pr.plan.Entry, pkts, now)
-}
-
-func (s *Server) injectInto(pr *planRuntime, pkt *packet.Packet) bool {
-	// Pre-parse so NFs sharing the packet in a no-copy parallel group
-	// only read the layout cache (writing it lazily would be a data
-	// race between runtimes, even with identical values).
-	_ = pkt.Parse()
-	s.injected.Add(1)
-	var cursor int64
-	if s.tracer.Sampled(pkt.Meta.PID) {
-		cursor = time.Now().UnixNano()
-		s.classifySpan(pkt, cursor)
-	}
-	s.exec(pr, pr.plan.Entry, pkt, cursor)
-	return true
-}
-
-// exec runs a forwarding-table dispatch list on a packet. The held map
-// collects the versions materialized so far, seeded with the incoming
-// packet under its own version. cursor is the span-chain position (end
-// timestamp of the packet's previous span; 0 when unsampled) — copies
-// fork their own chain off it, and every delivery carries its
-// version's cursor forward.
-func (s *Server) exec(pr *planRuntime, ds []Dispatch, pkt *packet.Packet, cursor int64) {
-	var held [packet.MaxVersion + 1]*packet.Packet
-	held[pkt.Meta.Version] = pkt
-	var curs [packet.MaxVersion + 1]int64
-	curs[pkt.Meta.Version] = cursor
-	sampled := s.tracer.Sampled(pkt.Meta.PID)
-	for _, d := range ds {
-		src := held[d.SrcVersion]
-		if src == nil {
-			panic(fmt.Sprintf("dataplane: dispatch references missing version %d", d.SrcVersion))
-		}
-		out := src
-		if d.NewVersion != 0 {
-			cp := s.allocCopy()
-			if d.FullCopy {
-				packet.FullCopy(src, cp, d.NewVersion)
-			} else {
-				packet.HeaderOnlyCopy(src, cp, d.NewVersion)
-			}
-			s.copies.Add(1)
-			s.copiedB.Add(uint64(cp.Len()))
-			if sampled {
-				now := time.Now().UnixNano()
-				s.tracer.RecordSpan(telemetry.TraceEvent{
-					PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: d.NewVersion,
-					Stage: telemetry.StageCopy, Name: "copy", SrcVer: d.SrcVersion,
-					Begin: curs[d.SrcVersion], TS: now,
-				})
-				curs[d.NewVersion] = now
-			}
-			held[d.NewVersion] = cp
-			out = cp
-		}
-		for _, t := range d.Targets {
-			s.deliver(pr, t, out, false, curs[out.Meta.Version])
-		}
-	}
-}
-
-// execBurst runs one dispatch list over a burst of packets. The common
-// chain shape — a single no-copy dispatch to one downstream NF — is
-// delivered with one batched ring enqueue and one high-water sample;
-// everything else (copies, joins, multi-target fan-out) falls back to
-// the scalar executor per packet, which already handles every shape.
-// cursor is shared by the whole burst: sampled packets of one burst
-// chain from the same amortized clock read.
-func (s *Server) execBurst(pr *planRuntime, ds []Dispatch, pkts []*packet.Packet, cursor int64) {
-	if len(pkts) == 1 {
-		s.exec(pr, ds, pkts[0], cursor)
-		return
-	}
-	if len(ds) == 1 && ds[0].NewVersion == 0 &&
-		len(ds[0].Targets) == 1 && ds[0].Targets[0].Kind == ToNode &&
-		len(pkts) > 0 && pkts[0].Meta.Version == ds[0].SrcVersion {
-		s.ringPush(pr, pr.owner[ds[0].Targets[0].Node], pkts, cursor)
-		return
-	}
-	for _, pkt := range pkts {
-		s.exec(pr, ds, pkt, cursor)
-	}
-}
-
-// allocCopy obtains a pool buffer, applying lossless backpressure
-// (bounded spin, then park) when the pool is momentarily exhausted.
-func (s *Server) allocCopy() *packet.Packet {
-	if pkt := s.pool.GetReserved(); pkt != nil {
-		return pkt
-	}
-	w := ring.Waiter{SpinLimit: s.cfg.SpinLimit}
-	for {
-		if w.Wait() {
-			s.bpParks.Add(1)
-		} else {
-			s.bpYields.Add(1)
-		}
-		if pkt := s.pool.GetReserved(); pkt != nil {
-			return pkt
-		}
-	}
-}
-
-// deliver sends one packet reference to a target, carrying the span
-// cursor (end timestamp of the packet's previous span, 0 unsampled)
-// into the next stage: ring deliveries stash it for the consumer, join
-// deliveries ride it on the merge item, and output closes the chain
-// with the terminal span.
-func (s *Server) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped bool, cursor int64) {
-	switch t.Kind {
-	case ToNode:
-		var one [1]*packet.Packet
-		one[0] = pkt
-		s.ringPush(pr, pr.owner[t.Node], one[:], cursor)
-	case ToJoin:
-		// Merger agent (§5.3): hash the immutable PID to pick the
-		// merger instance, so all copies of one packet meet at the
-		// same merger while different packets spread across instances.
-		m := s.mergers[flow.HashPID(pkt.Meta.PID)%uint64(len(s.mergers))]
-		m.in <- mergeItem{pkt: pkt, mid: pr.plan.MID, join: t.Join, dropped: dropped, cursor: cursor}
-	case ToOutput:
-		if s.tracer.Sampled(pkt.Meta.PID) {
-			st := telemetry.StageOutput
-			if dropped {
-				st = telemetry.StageDrop
-			}
-			s.tracer.RecordSpan(telemetry.TraceEvent{
-				PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
-				Stage: st, Begin: cursor, TS: time.Now().UnixNano(),
-			})
-		}
-		if dropped {
-			s.drops.Add(1)
-			pkt.Free()
-			return
-		}
-		if s.e2eOn && pkt.Meta.PID&s.e2eMask == 0 && pkt.Ingress > 0 {
-			pr.e2eLat.Record(time.Now().UnixNano() - pkt.Ingress)
-		}
-		s.outCount.Add(1)
-		s.out <- pkt
-	}
-}
-
-// deliverDrop routes a drop intention (with the packet reference so
-// buffers can be reclaimed) to the nearest join or the output.
-func (s *Server) deliverDrop(pr *planRuntime, t Target, pkt *packet.Packet, cursor int64) {
-	s.deliver(pr, t, pkt, true, cursor)
-}
-
-// joinSpec resolves a join for the mergers.
-func (s *Server) joinSpec(mid uint32, join int) JoinSpec {
-	return (*s.plans.Load())[mid].plan.Joins[join]
-}
-
-// planRT resolves a plan runtime for the mergers.
-func (s *Server) planRT(mid uint32) *planRuntime { return (*s.plans.Load())[mid] }
 
 // Stats is a snapshot of server counters.
 type Stats struct {
 	Injected uint64
 	Outputs  uint64
 	Drops    uint64
+	// Unroutable counts sharded-ingress packets freed because no
+	// classifier rule matched or the MID had no installed graph (0 on
+	// unsharded servers, where rejects return to the caller instead).
+	Unroutable uint64
 	// Sheds counts packet REFERENCES lost to the ring backpressure
 	// policy (drop-tail / shed-lowest-priority). Every shed rides the
 	// drop route, so Injected == Outputs + Drops still holds; but in a
@@ -762,16 +856,22 @@ type Stats struct {
 	// On join-free graphs Sheds <= Drops.
 	Sheds uint64
 	// Panics and Restarts count NF crashes caught at the runtime crash
-	// boundary and supervisor-performed instance replacements.
+	// boundary and supervisor-performed instance replacements, summed
+	// over every shard.
 	Panics   uint64
 	Restarts uint64
 	// Copies and CopiedBytes quantify the §6.3.1 resource overhead.
 	Copies      uint64
 	CopiedBytes uint64
 	MergeErrors uint64
-	// MergerLoad is the per-instance processed item count (§6.3.3).
+	// MergerLoad is the per-instance processed item count (§6.3.3),
+	// shard-major on a sharded server (shard 0's mergers first).
 	MergerLoad []uint64
-	// Pool reports buffer pool activity.
+	// ShardIngress is the per-shard classified-packet count (nil on an
+	// unsharded server) — the RSS dispatch balance.
+	ShardIngress []uint64
+	// Pool reports buffer pool activity (whole-pool totals; partitions
+	// roll up).
 	Pool mempool.Stats
 }
 
@@ -781,22 +881,28 @@ func (s *Server) Stats() Stats {
 		Injected:    s.injected.Value(),
 		Outputs:     s.outCount.Value(),
 		Drops:       s.drops.Value(),
+		Unroutable:  s.unroutable.Value(),
 		Sheds:       s.sheds.Value(),
 		Copies:      s.copies.Value(),
 		CopiedBytes: s.copiedB.Value(),
 		MergeErrors: s.mergeErrs.Value(),
 		Pool:        s.pool.Stats(),
 	}
-	for _, pr := range *s.plans.Load() {
-		for _, n := range pr.rts {
-			for i := range n.nfs {
-				st.Panics += n.nfs[i].panics.Value()
-				st.Restarts += n.nfs[i].restarts.Value()
+	for _, sh := range s.shards {
+		for _, pr := range *sh.plans.Load() {
+			for _, n := range pr.rts {
+				for i := range n.nfs {
+					st.Panics += n.nfs[i].panics.Value()
+					st.Restarts += n.nfs[i].restarts.Value()
+				}
 			}
 		}
-	}
-	for _, m := range s.mergers {
-		st.MergerLoad = append(st.MergerLoad, m.processed.Value())
+		for _, m := range sh.mergers {
+			st.MergerLoad = append(st.MergerLoad, m.processed.Value())
+		}
+		if s.sharded() {
+			st.ShardIngress = append(st.ShardIngress, sh.ingress.Value())
+		}
 	}
 	return st
 }
@@ -809,10 +915,19 @@ func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
 // Config.TraceSampleRate enabled it.
 func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
-// NodeRuntime returns the NF instance executing a graph node, for state
-// inspection in tests and examples.
+// NodeRuntime returns the NF instance executing a graph node on shard
+// 0, for state inspection in tests and examples.
 func (s *Server) NodeRuntime(mid uint32, node graph.NF) (nf.NF, bool) {
-	pr := (*s.plans.Load())[mid]
+	return s.NodeRuntimeShard(0, mid, node)
+}
+
+// NodeRuntimeShard returns the NF instance executing a graph node on
+// one shard.
+func (s *Server) NodeRuntimeShard(shard int, mid uint32, node graph.NF) (nf.NF, bool) {
+	if shard < 0 || shard >= len(s.shards) {
+		return nil, false
+	}
+	pr := (*s.shards[shard].plans.Load())[mid]
 	if pr == nil {
 		return nil, false
 	}

@@ -1,0 +1,349 @@
+package dataplane
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"nfp/internal/flow"
+	"nfp/internal/mempool"
+	"nfp/internal/packet"
+	"nfp/internal/ring"
+	"nfp/internal/telemetry"
+)
+
+// shard is one replica of the whole dataplane (RSS-style flow
+// sharding): its own classifier loop, plan runtimes with their rings,
+// merger instances, output channel and mempool partition. Ingress
+// dispatches each packet to a shard by symmetric 5-tuple hash, so every
+// packet of a flow — in both directions — executes on the same shard's
+// goroutines, and per-flow NF state (NAT bindings, monitor counters,
+// LB maps) is only ever touched from that shard, lock-free.
+//
+// A single-shard server (Config.Shards <= 1) is the classic layout:
+// shard 0 aliases the server's pool and output channel, has no ingress
+// ring, and injectors classify inline — byte-for-byte the pre-sharding
+// behavior.
+type shard struct {
+	id  int
+	srv *Server
+	// spanID is 1+id when the server is sharded, 0 otherwise — the
+	// TraceEvent.Shard tag, chosen so single-shard trace output stays
+	// byte-identical (the field is omitempty).
+	spanID int
+
+	// pool is this shard's mempool partition (the server pool itself
+	// when unsharded): packet copies for parallel branches come from
+	// here, so the copy path never contends with other shards.
+	pool  *mempool.Pool
+	plans atomicPlans
+	// mergers are this shard's merger instances; the merger agent
+	// PID-hash load-balances within the shard.
+	mergers []*merger
+	// out receives the shard's finished packets (the server output
+	// channel when unsharded; fanned in unless Config.ShardedOutputs).
+	out chan *packet.Packet
+
+	// in is the ingress ring (sharded mode only): injectors enqueue
+	// flow-hashed packets, and the shard's classifier loop drains,
+	// classifies and dispatches them.
+	in *ring.MPSC
+
+	// Sharded-mode ingress telemetry, labelled shard=<id>.
+	ingress *telemetry.Counter
+	inHW    *telemetry.Gauge
+}
+
+// labelShard appends the shard label to a label set when the server is
+// sharded; single-shard servers keep every pre-sharding series name and
+// label set bit-identical.
+func (sh *shard) labelShard(labels []telemetry.Label) []telemetry.Label {
+	if sh.srv.sharded() {
+		return append(labels, telemetry.L("shard", strconv.Itoa(sh.id)))
+	}
+	return labels
+}
+
+// ingressLoop is the shard's classifier goroutine (sharded mode): it
+// drains the ingress ring in bursts and classifies + dispatches each
+// burst, mirroring a DPDK lcore polling its RSS receive queue.
+func (sh *shard) ingressLoop() {
+	burst := make([]*packet.Packet, sh.srv.cfg.Burst)
+	idle := ring.Waiter{SpinLimit: sh.srv.cfg.SpinLimit}
+	for {
+		cnt := sh.in.DequeueBatch(burst)
+		if cnt == 0 {
+			if sh.srv.stopped.Load() {
+				return
+			}
+			idle.Wait()
+			continue
+		}
+		idle.Reset()
+		sh.classifyBurst(burst[:cnt])
+	}
+}
+
+// classifyBurst classifies one drained ingress burst and injects the
+// routable packets into their graphs, one sub-burst per MID run. The
+// dispatcher transferred ownership, so packets that cannot be routed —
+// unmatched, or classified to a MID with no installed graph — are
+// freed here and counted on nfp_ingress_unroutable_total (they are
+// never "injected", so conservation stays injected == outputs+drops).
+func (sh *shard) classifyBurst(pkts []*packet.Packet) {
+	s := sh.srv
+	n := s.classifier.ClassifyBatch(pkts)
+	plans := *sh.plans.Load()
+	m := 0
+	for i := 0; i < n; i++ {
+		p := pkts[i]
+		if plans[p.Meta.MID] == nil {
+			continue
+		}
+		if m < i {
+			copy(pkts[m+1:i+1], pkts[m:i])
+		}
+		pkts[m] = p
+		m++
+	}
+	if m < len(pkts) {
+		s.unroutable.Add(uint64(len(pkts) - m))
+		for _, p := range pkts[m:] {
+			p.Free()
+		}
+	}
+	for i := 0; i < m; {
+		mid := pkts[i].Meta.MID
+		j := i + 1
+		for j < m && pkts[j].Meta.MID == mid {
+			j++
+		}
+		sh.injectBurst(plans[mid], pkts[i:j])
+		i = j
+	}
+	sh.ingress.Add(uint64(len(pkts)))
+	// ingressCleared is the Stop-drain handshake: bumped only after
+	// every packet of the burst is injected or freed.
+	s.ingressCleared.Add(uint64(len(pkts)))
+}
+
+// ingressPush enqueues dispatched packets into the shard's ingress
+// ring with lossless backpressure (bounded spin, then park): a stalled
+// shard blocks its injectors, like a full NIC receive queue, and never
+// loses packets.
+func (sh *shard) ingressPush(pkts []*packet.Packet) {
+	s := sh.srv
+	rem := pkts
+	if k := sh.in.EnqueueBatch(rem); k > 0 {
+		rem = rem[k:]
+	}
+	if len(rem) > 0 {
+		w := ring.Waiter{SpinLimit: s.cfg.SpinLimit}
+		for len(rem) > 0 {
+			if w.Wait() {
+				s.bpParks.Add(1)
+			} else {
+				s.bpYields.Add(1)
+			}
+			if k := sh.in.EnqueueBatch(rem); k > 0 {
+				rem = rem[k:]
+				w.Reset()
+			}
+		}
+	}
+	sh.inHW.SetMax(int64(sh.in.Len()))
+}
+
+// classifySpan records the classify span of a sampled packet: it
+// begins at the source's Ingress stamp when one is set (and sane) so
+// ingress queueing — including time in the shard's ingress ring — is
+// attributed, and ends at now — the cursor every downstream span
+// chains from.
+func (sh *shard) classifySpan(pkt *packet.Packet, now int64) {
+	begin := pkt.Ingress
+	if begin <= 0 || begin > now {
+		begin = now
+	}
+	sh.srv.tracer.RecordSpan(telemetry.TraceEvent{
+		PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
+		Stage: telemetry.StageClassify, Name: "classifier",
+		Begin: begin, TS: now, Shard: sh.spanID,
+	})
+}
+
+// injectBurst sends a burst of same-MID packets into their graph.
+func (sh *shard) injectBurst(pr *planRuntime, pkts []*packet.Packet) {
+	now := time.Now().UnixNano()
+	for _, pkt := range pkts {
+		// Pre-parse so NFs sharing the packet in a no-copy parallel
+		// group only read the layout cache (see injectInto).
+		_ = pkt.Parse()
+		if sh.srv.tracer.Sampled(pkt.Meta.PID) {
+			sh.classifySpan(pkt, now)
+		}
+	}
+	sh.srv.injected.Add(uint64(len(pkts)))
+	sh.execBurst(pr, pr.plan.Entry, pkts, now)
+}
+
+func (sh *shard) injectInto(pr *planRuntime, pkt *packet.Packet) bool {
+	// Pre-parse so NFs sharing the packet in a no-copy parallel group
+	// only read the layout cache (writing it lazily would be a data
+	// race between runtimes, even with identical values).
+	_ = pkt.Parse()
+	sh.srv.injected.Add(1)
+	var cursor int64
+	if sh.srv.tracer.Sampled(pkt.Meta.PID) {
+		cursor = time.Now().UnixNano()
+		sh.classifySpan(pkt, cursor)
+	}
+	sh.exec(pr, pr.plan.Entry, pkt, cursor)
+	return true
+}
+
+// exec runs a forwarding-table dispatch list on a packet. The held map
+// collects the versions materialized so far, seeded with the incoming
+// packet under its own version. cursor is the span-chain position (end
+// timestamp of the packet's previous span; 0 when unsampled) — copies
+// fork their own chain off it, and every delivery carries its
+// version's cursor forward.
+func (sh *shard) exec(pr *planRuntime, ds []Dispatch, pkt *packet.Packet, cursor int64) {
+	s := sh.srv
+	var held [packet.MaxVersion + 1]*packet.Packet
+	held[pkt.Meta.Version] = pkt
+	var curs [packet.MaxVersion + 1]int64
+	curs[pkt.Meta.Version] = cursor
+	sampled := s.tracer.Sampled(pkt.Meta.PID)
+	for _, d := range ds {
+		src := held[d.SrcVersion]
+		if src == nil {
+			panic(fmt.Sprintf("dataplane: dispatch references missing version %d", d.SrcVersion))
+		}
+		out := src
+		if d.NewVersion != 0 {
+			cp := sh.allocCopy()
+			if d.FullCopy {
+				packet.FullCopy(src, cp, d.NewVersion)
+			} else {
+				packet.HeaderOnlyCopy(src, cp, d.NewVersion)
+			}
+			s.copies.Add(1)
+			s.copiedB.Add(uint64(cp.Len()))
+			if sampled {
+				now := time.Now().UnixNano()
+				s.tracer.RecordSpan(telemetry.TraceEvent{
+					PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: d.NewVersion,
+					Stage: telemetry.StageCopy, Name: "copy", SrcVer: d.SrcVersion,
+					Begin: curs[d.SrcVersion], TS: now, Shard: sh.spanID,
+				})
+				curs[d.NewVersion] = now
+			}
+			held[d.NewVersion] = cp
+			out = cp
+		}
+		for _, t := range d.Targets {
+			sh.deliver(pr, t, out, false, curs[out.Meta.Version])
+		}
+	}
+}
+
+// execBurst runs one dispatch list over a burst of packets. The common
+// chain shape — a single no-copy dispatch to one downstream NF — is
+// delivered with one batched ring enqueue and one high-water sample;
+// everything else (copies, joins, multi-target fan-out) falls back to
+// the scalar executor per packet, which already handles every shape.
+// cursor is shared by the whole burst: sampled packets of one burst
+// chain from the same amortized clock read.
+func (sh *shard) execBurst(pr *planRuntime, ds []Dispatch, pkts []*packet.Packet, cursor int64) {
+	if len(pkts) == 1 {
+		sh.exec(pr, ds, pkts[0], cursor)
+		return
+	}
+	if len(ds) == 1 && ds[0].NewVersion == 0 &&
+		len(ds[0].Targets) == 1 && ds[0].Targets[0].Kind == ToNode &&
+		len(pkts) > 0 && pkts[0].Meta.Version == ds[0].SrcVersion {
+		sh.ringPush(pr, pr.owner[ds[0].Targets[0].Node], pkts, cursor)
+		return
+	}
+	for _, pkt := range pkts {
+		sh.exec(pr, ds, pkt, cursor)
+	}
+}
+
+// allocCopy obtains a buffer from the shard's pool partition, applying
+// lossless backpressure (bounded spin, then park) when the partition is
+// momentarily exhausted.
+func (sh *shard) allocCopy() *packet.Packet {
+	if pkt := sh.pool.GetReserved(); pkt != nil {
+		return pkt
+	}
+	s := sh.srv
+	w := ring.Waiter{SpinLimit: s.cfg.SpinLimit}
+	for {
+		if w.Wait() {
+			s.bpParks.Add(1)
+		} else {
+			s.bpYields.Add(1)
+		}
+		if pkt := sh.pool.GetReserved(); pkt != nil {
+			return pkt
+		}
+	}
+}
+
+// deliver sends one packet reference to a target, carrying the span
+// cursor (end timestamp of the packet's previous span, 0 unsampled)
+// into the next stage: ring deliveries stash it for the consumer, join
+// deliveries ride it on the merge item, and output closes the chain
+// with the terminal span.
+func (sh *shard) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped bool, cursor int64) {
+	s := sh.srv
+	switch t.Kind {
+	case ToNode:
+		var one [1]*packet.Packet
+		one[0] = pkt
+		sh.ringPush(pr, pr.owner[t.Node], one[:], cursor)
+	case ToJoin:
+		// Merger agent (§5.3): hash the immutable PID to pick the
+		// merger instance, so all copies of one packet meet at the
+		// same merger while different packets spread across instances.
+		m := sh.mergers[flow.HashPID(pkt.Meta.PID)%uint64(len(sh.mergers))]
+		m.in <- mergeItem{pkt: pkt, mid: pr.plan.MID, join: t.Join, dropped: dropped, cursor: cursor}
+	case ToOutput:
+		if s.tracer.Sampled(pkt.Meta.PID) {
+			st := telemetry.StageOutput
+			if dropped {
+				st = telemetry.StageDrop
+			}
+			s.tracer.RecordSpan(telemetry.TraceEvent{
+				PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
+				Stage: st, Begin: cursor, TS: time.Now().UnixNano(), Shard: sh.spanID,
+			})
+		}
+		if dropped {
+			s.drops.Add(1)
+			pkt.Free()
+			return
+		}
+		if s.e2eOn && pkt.Meta.PID&s.e2eMask == 0 && pkt.Ingress > 0 {
+			pr.e2eLat.Record(time.Now().UnixNano() - pkt.Ingress)
+		}
+		s.outCount.Add(1)
+		sh.out <- pkt
+	}
+}
+
+// deliverDrop routes a drop intention (with the packet reference so
+// buffers can be reclaimed) to the nearest join or the output.
+func (sh *shard) deliverDrop(pr *planRuntime, t Target, pkt *packet.Packet, cursor int64) {
+	sh.deliver(pr, t, pkt, true, cursor)
+}
+
+// joinSpec resolves a join for the shard's mergers. The Plan is shared
+// by every shard, so any shard's plans map yields the same spec.
+func (sh *shard) joinSpec(mid uint32, join int) JoinSpec {
+	return (*sh.plans.Load())[mid].plan.Joins[join]
+}
+
+// planRT resolves this shard's runtime of a plan for the mergers.
+func (sh *shard) planRT(mid uint32) *planRuntime { return (*sh.plans.Load())[mid] }

@@ -64,6 +64,13 @@ type SynNF struct {
 	processed uint64
 	dropped   uint64
 	digest    uint64
+	// contentDigest is the PID-free variant: a wrapping SUM of the raw
+	// observations. Summation (not XOR) keeps duplicate observations
+	// from cancelling, and commutes — so digests of per-shard instances
+	// aggregate by addition, and a sharded run (which assigns PIDs in a
+	// timing-dependent order) can still be compared against a
+	// single-shard run observation-for-observation.
+	contentDigest uint64
 }
 
 // NewSynNF builds a synthetic NF for the given profile.
@@ -80,6 +87,11 @@ func (s *SynNF) Profile() nfa.Profile { return s.profile }
 
 // Digest returns the accumulated observation digest.
 func (s *SynNF) Digest() uint64 { return s.digest }
+
+// ContentDigest returns the PID-free observation digest (see the field
+// comment). Digests of instances executing the same logical NF on
+// different shards aggregate by addition.
+func (s *SynNF) ContentDigest() uint64 { return s.contentDigest }
 
 // Counts returns (processed, dropped).
 func (s *SynNF) Counts() (processed, dropped uint64) { return s.processed, s.dropped }
@@ -108,6 +120,7 @@ func (s *SynNF) Process(p *packet.Packet) nf.Verdict {
 	ph := fnv.New64a()
 	fmt.Fprintf(ph, "%d|%d|", p.Meta.PID, obs)
 	s.digest ^= ph.Sum64()
+	s.contentDigest += obs
 
 	// Drop decision: a pure function of the observation.
 	if s.profile.Drops() && obs%8 == 0 {

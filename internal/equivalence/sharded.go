@@ -1,0 +1,217 @@
+package equivalence
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"nfp/internal/dataplane"
+	"nfp/internal/flow"
+	"nfp/internal/graph"
+	"nfp/internal/nf"
+	"nfp/internal/packet"
+)
+
+// ShardedRun is one execution's observable state in the PID-free form
+// the sharded differential needs. A sharded server classifies packets
+// concurrently on every shard, so PID assignment order — and therefore
+// every PID-keyed observation of RunResult — is timing-dependent; what
+// sharding must preserve is the multiset of observations. All digests
+// here are wrapping sums of FNV hashes: order-independent,
+// duplicate-safe, and aggregatable across per-shard NF instances.
+type ShardedRun struct {
+	// FlowDigests sums hash(final packet bytes) per output flow key
+	// (the 5-tuple the packet leaves with), FlowCounts the per-flow
+	// output packet counts — together the "per-flow output digest".
+	FlowDigests map[flow.Key]uint64
+	FlowCounts  map[flow.Key]uint64
+	Outputs     uint64
+	Drops       uint64
+	Copies      uint64
+	// ContentDigests aggregates every NF's PID-free observation digest
+	// over all of its per-shard instances; Processed the packet counts.
+	ContentDigests map[string]uint64
+	Processed      map[string]uint64
+}
+
+// ExecShardOptions pins an ExecuteSharded run.
+type ExecShardOptions struct {
+	// Shards is the dataplane shard count (1 = the classic layout).
+	Shards int
+	// Burst is the dataplane burst size (<=1 runs the scalar path).
+	Burst int
+	// Fusion selects the execution engine (FusionAuto = server default).
+	Fusion dataplane.FusionMode
+}
+
+// ExecuteSharded replays n deterministic packets (seeded by
+// trafficSeed) through g on a server with opts.Shards shards, each
+// shard running its own SynNF instances, and captures the PID-free
+// observations. It fails on any pool leak after the drained stop.
+//
+// Holding ExecuteSharded(shards=k) equal to ExecuteSharded(shards=1)
+// proves RSS-style flow sharding preserves the §4.1 result-correctness
+// principle: same output packets (as per-flow multisets), same drops,
+// same copies, and same NF observations — flow state never leaks
+// between shards, and no packet is reordered within its flow in a way
+// an NF can observe.
+func (t *Trial) ExecuteSharded(g graph.Node, n int, trafficSeed int64, opts ExecShardOptions) (*ShardedRun, error) {
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	// Per-shard instances: shard i's SynNFs are only ever invoked from
+	// shard i's runtime goroutines (the -race runs of the differential
+	// suite hold the dataplane to that).
+	syns := make(map[string][]*SynNF, len(t.Profiles))
+	srv := dataplane.New(dataplane.Config{
+		// A whole-server budget: every shard gets PoolSize/shards.
+		PoolSize: 512 * shards,
+		Mergers:  2,
+		Burst:    opts.Burst,
+		Shards:   shards,
+		Fusion:   opts.Fusion,
+	})
+	err := srv.AddGraphProvide(1, g, func(shard int, node graph.NF) nf.NF {
+		s := NewSynNF(node.Name, t.Profiles[node.Name])
+		syns[node.Name] = append(syns[node.Name], s)
+		return s
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	res := &ShardedRun{
+		FlowDigests:    map[flow.Key]uint64{},
+		FlowCounts:     map[flow.Key]uint64{},
+		ContentDigests: map[string]uint64{},
+		Processed:      map[string]uint64{},
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p := range srv.Output() {
+			k, kerr := flow.FromPacket(p)
+			if kerr != nil {
+				k = flow.Key{}
+			}
+			h := fnv.New64a()
+			h.Write(p.Bytes())
+			res.FlowDigests[k] += h.Sum64()
+			res.FlowCounts[k]++
+			res.Outputs++
+			p.Free()
+		}
+	}()
+	rng := rand.New(rand.NewSource(trafficSeed))
+	if opts.Burst <= 1 {
+		for i := 0; i < n; i++ {
+			pkt := srv.Pool().Get()
+			for pkt == nil {
+				pkt = srv.Pool().Get()
+			}
+			buildRandomPacket(pkt, rng)
+			if !srv.Inject(pkt) {
+				return nil, fmt.Errorf("classification failed")
+			}
+		}
+	} else {
+		batch := make([]*packet.Packet, opts.Burst)
+		for i := 0; i < n; {
+			want := opts.Burst
+			if n-i < want {
+				want = n - i
+			}
+			got := srv.Pool().AllocBatch(batch[:want])
+			for got == 0 {
+				got = srv.Pool().AllocBatch(batch[:want])
+			}
+			for j := 0; j < got; j++ {
+				buildRandomPacket(batch[j], rng)
+			}
+			if acc := srv.InjectBatch(batch[:got]); acc != got {
+				return nil, fmt.Errorf("batch classification failed: %d of %d", acc, got)
+			}
+			i += got
+		}
+	}
+	srv.Stop()
+	<-done
+	st := srv.Stats()
+	res.Drops = st.Drops
+	res.Copies = st.Copies
+	if st.Unroutable != 0 {
+		return nil, fmt.Errorf("%d packets unroutable (test traffic must all classify)", st.Unroutable)
+	}
+	for name, insts := range syns {
+		for _, s := range insts {
+			res.ContentDigests[name] += s.ContentDigest()
+			p, _ := s.Counts()
+			res.Processed[name] += p
+		}
+	}
+	if leak := srv.Pool().InUse(); leak != 0 {
+		return nil, fmt.Errorf("pool leak after drained stop: %d buffers", leak)
+	}
+	return res, nil
+}
+
+// CompareSharded checks two runs (canonically shards=1 vs shards=k)
+// for the sharded equivalence properties and returns human-readable
+// violations (empty = equivalent).
+func CompareSharded(one, sharded *ShardedRun) []string {
+	var out []string
+	if one.Outputs != sharded.Outputs {
+		out = append(out, fmt.Sprintf("outputs: %d vs %d", one.Outputs, sharded.Outputs))
+	}
+	if one.Drops != sharded.Drops {
+		out = append(out, fmt.Sprintf("drops: %d vs %d", one.Drops, sharded.Drops))
+	}
+	if one.Copies != sharded.Copies {
+		out = append(out, fmt.Sprintf("copies: %d vs %d", one.Copies, sharded.Copies))
+	}
+	for _, k := range sortedFlowKeys(one.FlowDigests, sharded.FlowDigests) {
+		oc, sc := one.FlowCounts[k], sharded.FlowCounts[k]
+		od, sd := one.FlowDigests[k], sharded.FlowDigests[k]
+		if oc != sc {
+			out = append(out, fmt.Sprintf("flow %v: %d vs %d output packets", k, oc, sc))
+		} else if od != sd {
+			out = append(out, fmt.Sprintf("flow %v: output bytes digest differs (%#x vs %#x)", k, od, sd))
+		}
+	}
+	for name, od := range one.ContentDigests {
+		if sd, ok := sharded.ContentDigests[name]; !ok || sd != od {
+			out = append(out, fmt.Sprintf("NF %s: observation digest differs (%#x vs %#x)", name, od, sd))
+		}
+	}
+	for name, op := range one.Processed {
+		if sp := sharded.Processed[name]; sp != op {
+			out = append(out, fmt.Sprintf("NF %s: processed %d vs %d packets", name, op, sp))
+		}
+	}
+	return out
+}
+
+// sortedFlowKeys returns the union of both maps' keys in a stable
+// order, so violation lists are deterministic.
+func sortedFlowKeys(a, b map[flow.Key]uint64) []flow.Key {
+	seen := make(map[flow.Key]bool, len(a)+len(b))
+	var keys []flow.Key
+	for k := range a {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for k := range b {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}

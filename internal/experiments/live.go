@@ -99,6 +99,11 @@ type LiveOptions struct {
 	// E2ESampleRate enables sampled end-to-end latency histograms (see
 	// dataplane.Config.E2ESampleRate; 0 disables).
 	E2ESampleRate int
+	// Shards replicates the whole plan across this many flow-sharded
+	// execution domains (see dataplane.Config.Shards; 0 and 1 keep the
+	// classic single-shard layout). The pool budget scales with the
+	// shard count so each partition keeps the single-shard headroom.
+	Shards int
 }
 
 // LiveRegistry, when non-nil, supplies NF factories to the live runs
@@ -128,9 +133,14 @@ func RunLiveGraphTap(g graph.Node, n int, gen *trafficgen.Generator, keepOutputs
 // RunLiveGraphOpts executes a service graph on the real dataplane for n
 // packets from gen with full observability control.
 func RunLiveGraphOpts(g graph.Node, n int, gen *trafficgen.Generator, opts LiveOptions) (LiveResult, error) {
+	poolScale := opts.Shards
+	if poolScale < 1 {
+		poolScale = 1
+	}
 	srv := dataplane.New(dataplane.Config{
-		PoolSize:        1024,
+		PoolSize:        1024 * poolScale,
 		Mergers:         2,
+		Shards:          opts.Shards,
 		Registry:        LiveRegistry,
 		Telemetry:       opts.Telemetry,
 		TraceSampleRate: opts.TraceSampleRate,

@@ -9,6 +9,7 @@ package mempool
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nfp/internal/packet"
 	"nfp/internal/telemetry"
@@ -16,10 +17,25 @@ import (
 
 // Pool is a fixed-capacity pool of packet buffers. It is safe for
 // concurrent use by multiple NF runtimes.
+//
+// A pool can be split into per-shard partitions with Partition: each
+// partition is itself a Pool with a private free list (uncontended
+// allocation), but all partitions share the parent's metric objects, so
+// the registry-visible counters and the nfp_mempool_in_use leak gauge
+// always report whole-pool totals — a buffer leaked by any shard keeps
+// the aggregate gauge non-zero. In-use accounting is therefore
+// delta-based (Add on alloc, subtract on free), never an absolute Set:
+// absolute writes from sibling partitions would stomp each other.
 type Pool struct {
 	bufSize int
 	cap     int
 	reserve int
+
+	// parts, once set by Partition, makes this pool a facade: its own
+	// free list is empty and allocation delegates round-robin to the
+	// children (rr is the probe cursor).
+	parts atomic.Pointer[[]*Pool]
+	rr    atomic.Uint32
 
 	mu   sync.Mutex
 	free []*packet.Packet
@@ -30,7 +46,8 @@ type Pool struct {
 	faultHook func(want int) bool
 
 	// The pool owns its metrics (so standalone pools still count) and
-	// attaches them to a server's registry via MustRegister.
+	// attaches them to a server's registry via MustRegister. Partitions
+	// alias their parent's objects — see Partition.
 	allocs      *telemetry.Counter
 	frees       *telemetry.Counter
 	failures    *telemetry.Counter
@@ -61,14 +78,93 @@ func New(n, bufSize int) *Pool {
 	return p
 }
 
+// Partition splits a full (entirely free) pool into k child pools and
+// returns them. Buffers are divided as evenly as possible; each
+// buffer's release hook is re-pointed at its owning child, so pkt.Free
+// always returns a buffer to the partition it came from, no matter
+// which goroutine frees it. The parent becomes a facade: Get /
+// GetReserved / AllocBatch delegate round-robin across the children
+// (so traffic sources that only hold a *Pool keep working), and
+// Available / InUse / Stats aggregate them. All children share the
+// parent's metric objects — never call MustRegister on a child.
+//
+// Partition must be called before any allocation and at most once.
+func (p *Pool) Partition(k int) []*Pool {
+	if k < 1 {
+		panic(fmt.Sprintf("mempool: invalid partition count %d", k))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.parts.Load() != nil {
+		panic("mempool: already partitioned")
+	}
+	if len(p.free) != p.cap {
+		panic("mempool: Partition requires a full pool (no outstanding buffers)")
+	}
+	parts := make([]*Pool, k)
+	base := 0
+	for i := range parts {
+		share := p.cap / k
+		if i < p.cap%k {
+			share++
+		}
+		if share == 0 {
+			panic(fmt.Sprintf("mempool: pool of %d cannot feed %d partitions", p.cap, k))
+		}
+		c := &Pool{
+			bufSize: p.bufSize, cap: share,
+			free:   make([]*packet.Packet, 0, share),
+			allocs: p.allocs, frees: p.frees,
+			failures: p.failures, reserveDips: p.reserveDips,
+			inUse: p.inUse, inUseHW: p.inUseHW,
+		}
+		c.free = append(c.free, p.free[base:base+share]...)
+		for _, pkt := range c.free {
+			pkt.Attach(pkt.Buffer(), 0, c.put)
+		}
+		base += share
+		parts[i] = c
+	}
+	p.free = p.free[:0]
+	p.parts.Store(&parts)
+	return parts
+}
+
+// Partitions returns the child pools created by Partition, or nil for
+// an unpartitioned pool.
+func (p *Pool) Partitions() []*Pool {
+	if pp := p.parts.Load(); pp != nil {
+		return *pp
+	}
+	return nil
+}
+
 // SetReserve keeps k buffers out of reach of Get, available only to
 // GetReserved. The dataplane reserves buffers for the packet copies its
 // parallel stages create: without the reserve, a traffic source that
 // greedily drains the pool deadlocks the copy path (the source waits
 // for buffers that can only be freed once a copy is allocated).
+//
+// On a partitioned pool the reserve is distributed across the
+// children, so every shard keeps its own slice of copy headroom.
 func (p *Pool) SetReserve(k int) {
 	if k < 0 || k >= p.cap {
 		panic(fmt.Sprintf("mempool: reserve %d out of range for pool of %d", k, p.cap))
+	}
+	if pp := p.parts.Load(); pp != nil {
+		parts := *pp
+		n := len(parts)
+		for i, c := range parts {
+			share := k / n
+			if i < k%n {
+				share++
+			}
+			if share >= c.cap {
+				share = c.cap - 1
+			}
+			c.SetReserve(share)
+		}
+		return
 	}
 	p.mu.Lock()
 	p.reserve = k
@@ -111,6 +207,41 @@ func (p *Pool) allocBatch(out []*packet.Packet, honorReserve bool) int {
 	if len(out) == 0 {
 		return 0
 	}
+	if pp := p.parts.Load(); pp != nil {
+		return p.partitionedAlloc(*pp, out, honorReserve)
+	}
+	return p.localAlloc(out, honorReserve, false)
+}
+
+// partitionedAlloc fills a burst by probing the child pools round-robin
+// from a rotating start, so sources that allocate through the parent
+// spread their working set across every partition. Children probe
+// quietly: the parent counts at most one exhaustion event per burst,
+// exactly like an unpartitioned pool.
+func (p *Pool) partitionedAlloc(parts []*Pool, out []*packet.Packet, honorReserve bool) int {
+	p.mu.Lock()
+	hook := p.faultHook
+	p.mu.Unlock()
+	if hook != nil && !hook(len(out)) {
+		p.failures.Add(1)
+		return 0
+	}
+	start := int(p.rr.Add(1))
+	n := 0
+	for i := 0; i < len(parts) && n < len(out); i++ {
+		c := parts[(start+i)%len(parts)]
+		n += c.localAlloc(out[n:], honorReserve, true)
+	}
+	if n < len(out) {
+		p.failures.Add(1)
+	}
+	return n
+}
+
+// localAlloc allocates from this pool's own free list. quiet suppresses
+// the exhaustion-failure counter bump (partition probing counts one
+// failure per parent burst, not one per empty child probed).
+func (p *Pool) localAlloc(out []*packet.Packet, honorReserve, quiet bool) int {
 	p.mu.Lock()
 	if p.faultHook != nil && !p.faultHook(len(out)) {
 		p.mu.Unlock()
@@ -127,16 +258,17 @@ func (p *Pool) allocBatch(out []*packet.Packet, honorReserve bool) int {
 	}
 	if n <= 0 {
 		p.mu.Unlock()
-		p.failures.Add(1)
+		if !quiet {
+			p.failures.Add(1)
+		}
 		return 0
 	}
 	base := len(p.free) - n
 	copy(out[:n], p.free[base:])
 	p.free = p.free[:base]
 	dip := !honorReserve && base < p.reserve
-	used := int64(p.cap - base)
 	p.mu.Unlock()
-	if n < len(out) {
+	if n < len(out) && !quiet {
 		// The burst came back short: one exhaustion event, like a
 		// rejected scalar Get.
 		p.failures.Add(1)
@@ -146,8 +278,10 @@ func (p *Pool) allocBatch(out []*packet.Packet, honorReserve bool) int {
 		// the early-warning sign of the SetReserve deadlock scenario.
 		p.reserveDips.Add(1)
 	}
-	p.inUse.Set(used)
-	p.inUseHW.SetMax(used)
+	// Delta update so sibling partitions sharing the gauge compose; the
+	// high-water mark trails the aggregate value it observes.
+	p.inUse.Add(int64(n))
+	p.inUseHW.SetMax(p.inUse.Value())
 	p.allocs.Add(uint64(n))
 	for _, pkt := range out[:n] {
 		pkt.SetLen(0)
@@ -178,15 +312,22 @@ func (p *Pool) FreeBatch(pkts []*packet.Packet) {
 	if len(pkts) == 0 {
 		return
 	}
+	if p.parts.Load() != nil {
+		// Partitioned facade: each packet's release hook knows its
+		// owning child, so the batch degrades to per-packet frees.
+		for _, pkt := range pkts {
+			pkt.Free()
+		}
+		return
+	}
 	p.mu.Lock()
 	if len(p.free)+len(pkts) > p.cap {
 		p.mu.Unlock()
 		panic("mempool: FreeBatch overflows the pool (double free or foreign packet)")
 	}
 	p.free = append(p.free, pkts...)
-	used := int64(p.cap - len(p.free))
 	p.mu.Unlock()
-	p.inUse.Set(used)
+	p.inUse.Add(-int64(len(pkts)))
 	p.frees.Add(uint64(len(pkts)))
 }
 
@@ -199,9 +340,8 @@ func (p *Pool) put(pkt *packet.Packet) {
 		panic("mempool: double free")
 	}
 	p.free = append(p.free, pkt)
-	used := int64(p.cap - len(p.free))
 	p.mu.Unlock()
-	p.inUse.Set(used)
+	p.inUse.Add(-1)
 	p.frees.Add(1)
 }
 
@@ -211,16 +351,33 @@ func (p *Pool) BufSize() int { return p.bufSize }
 // Cap returns the pool capacity in buffers.
 func (p *Pool) Cap() int { return p.cap }
 
-// Available returns the number of free buffers.
+// Available returns the number of free buffers (summed over the
+// partitions when the pool is partitioned).
 func (p *Pool) Available() int {
+	if pp := p.parts.Load(); pp != nil {
+		total := 0
+		for _, c := range *pp {
+			total += c.Available()
+		}
+		return total
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.free)
 }
 
 // InUse returns the number of outstanding buffers. A non-zero value
-// after a drained Stop is a leak.
+// after a drained Stop is a leak. On a partitioned pool this is the
+// sum over all partitions: a single shard's leak keeps the whole
+// pool's leak gauge non-zero, which is what nfpd's exit gate checks.
 func (p *Pool) InUse() int {
+	if pp := p.parts.Load(); pp != nil {
+		total := 0
+		for _, c := range *pp {
+			total += c.InUse()
+		}
+		return total
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.cap - len(p.free)

@@ -327,3 +327,154 @@ func TestReserveValidation(t *testing.T) {
 	}()
 	p.SetReserve(4)
 }
+
+func TestPartitionDistributesBuffers(t *testing.T) {
+	p := New(10, 128)
+	parts := p.Partition(3)
+	if len(parts) != 3 {
+		t.Fatalf("partitions = %d", len(parts))
+	}
+	want := []int{4, 3, 3}
+	total := 0
+	for i, c := range parts {
+		if c.Cap() != want[i] || c.Available() != want[i] {
+			t.Errorf("partition %d: cap = %d avail = %d, want %d", i, c.Cap(), c.Available(), want[i])
+		}
+		total += c.Cap()
+	}
+	if total != p.Cap() {
+		t.Errorf("partition caps sum to %d, want %d", total, p.Cap())
+	}
+	if p.Partitions() == nil {
+		t.Error("Partitions() returned nil after Partition")
+	}
+}
+
+// A buffer freed from any goroutine must return to the partition it was
+// allocated from, no matter which *Pool handle the freeing code holds.
+func TestPartitionFreeReturnsToOwner(t *testing.T) {
+	p := New(8, 128)
+	parts := p.Partition(2)
+	pkt := parts[1].Get()
+	if pkt == nil {
+		t.Fatal("partition Get returned nil")
+	}
+	if parts[1].InUse() != 1 || parts[0].InUse() != 0 {
+		t.Fatalf("in use: part0 = %d part1 = %d", parts[0].InUse(), parts[1].InUse())
+	}
+	pkt.Free()
+	if parts[1].Available() != 4 {
+		t.Errorf("partition 1 available = %d, want 4", parts[1].Available())
+	}
+}
+
+// Regression for the sharded leak gate: a buffer held by ONE partition
+// must keep the parent's InUse — the nfpd exit condition — and the
+// shared nfp_mempool_in_use gauge non-zero.
+func TestPartitionLeakRollsUp(t *testing.T) {
+	p := New(16, 128)
+	parts := p.Partition(4)
+	leak := parts[2].Get()
+	if leak == nil {
+		t.Fatal("Get returned nil")
+	}
+	if got := p.InUse(); got != 1 {
+		t.Errorf("parent InUse = %d, want 1 (shard leak must roll up)", got)
+	}
+	if v := p.inUse.Value(); v != 1 {
+		t.Errorf("shared in-use gauge = %d, want 1", v)
+	}
+	if hw := p.inUseHW.Value(); hw < 1 {
+		t.Errorf("in-use high water = %d, want >= 1", hw)
+	}
+	leak.Free()
+	if got := p.InUse(); got != 0 {
+		t.Errorf("after free parent InUse = %d", got)
+	}
+}
+
+// The parent stays a working allocator after partitioning: it delegates
+// round-robin and only reports exhaustion when every partition is dry.
+func TestPartitionedParentDelegates(t *testing.T) {
+	p := New(6, 128)
+	p.Partition(3)
+	got := make([]*packet.Packet, 0, 6)
+	for i := 0; i < 6; i++ {
+		pkt := p.Get()
+		if pkt == nil {
+			t.Fatalf("parent Get %d returned nil with buffers free", i)
+		}
+		got = append(got, pkt)
+	}
+	if p.Get() != nil {
+		t.Error("exhausted partitioned pool returned a packet")
+	}
+	if st := p.Stats(); st.Allocs != 6 || st.Failures != 1 {
+		t.Errorf("stats = %+v, want 6 allocs and exactly 1 failure", st)
+	}
+	// A batch spanning partitions comes back full.
+	for _, pkt := range got {
+		pkt.Free()
+	}
+	batch := make([]*packet.Packet, 6)
+	if n := p.AllocBatch(batch); n != 6 {
+		t.Fatalf("AllocBatch = %d, want 6", n)
+	}
+	p.FreeBatch(batch)
+	if p.Available() != 6 || p.InUse() != 0 {
+		t.Errorf("after FreeBatch: available = %d, in use = %d", p.Available(), p.InUse())
+	}
+}
+
+// SetReserve on a partitioned pool distributes copy headroom: every
+// partition keeps its own reserved slice for GetReserved.
+func TestPartitionSetReserve(t *testing.T) {
+	p := New(8, 128)
+	parts := p.Partition(2)
+	p.SetReserve(2)
+	for _, c := range parts {
+		// Each partition of 4 holds 1 reserved buffer.
+		a := c.Get()
+		b := c.Get()
+		cc := c.Get()
+		if a == nil || b == nil || cc == nil {
+			t.Fatal("Get failed above the reserve line")
+		}
+		if c.Get() != nil {
+			t.Error("Get dipped into the partition reserve")
+		}
+		r := c.GetReserved()
+		if r == nil {
+			t.Error("GetReserved failed on the partition reserve")
+		}
+		for _, pkt := range []*packet.Packet{a, b, cc, r} {
+			if pkt != nil {
+				pkt.Free()
+			}
+		}
+	}
+}
+
+func TestPartitionMisusePanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("double partition", func() {
+		p := New(4, 128)
+		p.Partition(2)
+		p.Partition(2)
+	})
+	expectPanic("partition with outstanding buffers", func() {
+		p := New(4, 128)
+		_ = p.Get()
+		p.Partition(2)
+	})
+	expectPanic("more partitions than buffers", func() {
+		New(2, 128).Partition(3)
+	})
+}

@@ -44,6 +44,12 @@ func stateValue(state string) int {
 type NFDiag struct {
 	NF  string `json:"nf"`
 	MID string `json:"mid"`
+	// Shard identifies the dataplane shard this instance runs on
+	// (empty on an unsharded server, where series carry no shard
+	// label). Each shard's instance is diagnosed independently: a hot
+	// flow overloading one shard shows as that shard's ρ, not an
+	// average smeared across the others.
+	Shard string `json:"shard,omitempty"`
 
 	ArrivalPPS    float64 `json:"arrival_pps"`
 	MeanServiceNS float64 `json:"mean_service_ns"`
@@ -67,7 +73,11 @@ type NFDiag struct {
 // fraction / 1%. Burn 1.0 consumes the budget exactly; above it the
 // chain is out of SLO.
 type ChainSLO struct {
-	MID         string  `json:"mid"`
+	MID string `json:"mid"`
+	// Shard qualifies the series on a sharded server (empty when
+	// unsharded): each shard's e2e histogram is judged against the
+	// same per-chain objective.
+	Shard       string  `json:"shard,omitempty"`
 	TargetP99NS uint64  `json:"target_p99_ns"`
 	WindowP99NS uint64  `json:"window_p99_ns"`
 	WindowCount uint64  `json:"window_count"`
@@ -118,7 +128,7 @@ func (d *Diagnoser) rankNFs(oldest, newest sample, elapsed float64) []NFDiag {
 			continue
 		}
 		nf, mid := c.Labels["nf"], c.Labels["mid"]
-		nd := NFDiag{NF: nf, MID: mid, Healthy: true}
+		nd := NFDiag{NF: nf, MID: mid, Shard: c.Labels["shard"], Healthy: true}
 
 		inDelta := c.Value - counterAt(oldest.snap, metricNFPacketsIn, c.Labels)
 		nd.ArrivalPPS = float64(inDelta) / elapsed
@@ -160,7 +170,10 @@ func (d *Diagnoser) rankNFs(oldest, newest sample, elapsed float64) []NFDiag {
 		if out[i].NF != out[j].NF {
 			return out[i].NF < out[j].NF
 		}
-		return out[i].MID < out[j].MID
+		if out[i].MID != out[j].MID {
+			return out[i].MID < out[j].MID
+		}
+		return out[i].Shard < out[j].Shard
 	})
 	return out
 }
@@ -168,7 +181,11 @@ func (d *Diagnoser) rankNFs(oldest, newest sample, elapsed float64) []NFDiag {
 // verdict renders the one-line human summary ("nf=ids ρ=0.94, ring 87%
 // full, rising").
 func verdict(nd NFDiag) string {
-	s := fmt.Sprintf("nf=%s ρ=%.2f", nd.NF, nd.Rho)
+	s := fmt.Sprintf("nf=%s", nd.NF)
+	if nd.Shard != "" {
+		s += " shard=" + nd.Shard
+	}
+	s += fmt.Sprintf(" ρ=%.2f", nd.Rho)
 	if nd.RingCapacity > 0 {
 		s += fmt.Sprintf(", ring %.0f%% full", nd.RingFill*100)
 	}
@@ -198,7 +215,7 @@ func (d *Diagnoser) evalSLO(oldest, newest sample) []ChainSLO {
 		}
 		k := histKey(metricE2ELatency, hs.Labels)
 		win := newest.hists[k].DeltaFrom(oldest.hists[k])
-		slo := ChainSLO{MID: hs.Labels["mid"], TargetP99NS: target}
+		slo := ChainSLO{MID: hs.Labels["mid"], Shard: hs.Labels["shard"], TargetP99NS: target}
 		if win.Count > 0 {
 			slo.WindowCount = win.Count
 			slo.WindowP99NS = win.Percentile(99)
@@ -208,7 +225,12 @@ func (d *Diagnoser) evalSLO(oldest, newest sample) []ChainSLO {
 		slo.Met = slo.BurnRate <= 1
 		out = append(out, slo)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].MID < out[j].MID })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MID != out[j].MID {
+			return out[i].MID < out[j].MID
+		}
+		return out[i].Shard < out[j].Shard
+	})
 	return out
 }
 
@@ -226,12 +248,12 @@ func (d *Diagnoser) judge(oldest, newest sample, rep HealthReport) (string, []st
 	for _, nf := range rep.Bottlenecks {
 		switch {
 		case nf.Rho >= d.cfg.RhoOverloaded:
-			raise(StateOverloaded, fmt.Sprintf("nf %s (mid %s) at ρ=%.2f ≥ %.2f", nf.NF, nf.MID, nf.Rho, d.cfg.RhoOverloaded))
+			raise(StateOverloaded, fmt.Sprintf("nf %s at ρ=%.2f ≥ %.2f", nfIdent(nf), nf.Rho, d.cfg.RhoOverloaded))
 		case nf.Rho >= d.cfg.RhoDegraded:
-			raise(StateDegraded, fmt.Sprintf("nf %s (mid %s) at ρ=%.2f ≥ %.2f", nf.NF, nf.MID, nf.Rho, d.cfg.RhoDegraded))
+			raise(StateDegraded, fmt.Sprintf("nf %s at ρ=%.2f ≥ %.2f", nfIdent(nf), nf.Rho, d.cfg.RhoDegraded))
 		}
 		if !nf.Healthy {
-			raise(StateDegraded, fmt.Sprintf("nf %s (mid %s) reported unhealthy", nf.NF, nf.MID))
+			raise(StateDegraded, fmt.Sprintf("nf %s reported unhealthy", nfIdent(nf)))
 		}
 	}
 
@@ -245,13 +267,26 @@ func (d *Diagnoser) judge(oldest, newest sample, rep HealthReport) (string, []st
 	}
 
 	for _, slo := range rep.SLO {
+		ident := "mid=" + slo.MID
+		if slo.Shard != "" {
+			ident += " shard=" + slo.Shard
+		}
 		if slo.BurnRate >= 10 {
-			raise(StateOverloaded, fmt.Sprintf("chain mid=%s burning %.1f× its error budget", slo.MID, slo.BurnRate))
+			raise(StateOverloaded, fmt.Sprintf("chain %s burning %.1f× its error budget", ident, slo.BurnRate))
 		} else if !slo.Met {
-			raise(StateDegraded, fmt.Sprintf("chain mid=%s burning %.1f× its error budget", slo.MID, slo.BurnRate))
+			raise(StateDegraded, fmt.Sprintf("chain %s burning %.1f× its error budget", ident, slo.BurnRate))
 		}
 	}
 	return state, reasons
+}
+
+// nfIdent names an NF instance for reason strings, shard-qualified when
+// the server is sharded.
+func nfIdent(nd NFDiag) string {
+	if nd.Shard != "" {
+		return fmt.Sprintf("%s (mid %s, shard %s)", nd.NF, nd.MID, nd.Shard)
+	}
+	return fmt.Sprintf("%s (mid %s)", nd.NF, nd.MID)
 }
 
 // counterAt finds a counter series by name and exact label set.

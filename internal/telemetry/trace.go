@@ -94,6 +94,10 @@ type TraceEvent struct {
 	// Join is 1 + the join ID on merge-wait and merge spans (0 = the
 	// span is not part of a join).
 	Join int `json:"join,omitempty"`
+	// Shard is 1 + the dataplane shard the span was recorded on, so a
+	// single-shard server keeps emitting byte-identical events (0 =
+	// not sharded).
+	Shard int `json:"shard,omitempty"`
 	// SrcVer is the version a copy span forked from (copy spans only).
 	SrcVer uint8 `json:"srcver,omitempty"`
 }
