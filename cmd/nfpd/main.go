@@ -9,13 +9,18 @@
 //	nfpd -chain monitor,firewall -baseline onvm
 //	nfpd -chain ids,monitor,lb -telemetry-addr :9090 -trace-sample 64
 //	nfpd -chain ids,monitor,lb -diagnose-interval 1s -slo-p99 2ms -zipf 1.3
+//	nfpd -chain vpn,monitor,firewall -reload -telemetry-addr :9090
 //
 // With -telemetry-addr the process keeps serving metrics after the
-// traffic run finishes, until interrupted. nfpd exits non-zero when the
-// buffer pool leaked.
+// traffic run finishes, until interrupted. With -reload, SIGHUP
+// recompiles the policy and hot-swaps it into the running dataplane
+// with zero downtime (a new config generation; old in-flight packets
+// drain on their original plan); /debug/config reports the generation
+// history. nfpd exits non-zero when the buffer pool leaked.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -88,6 +93,8 @@ func run() int {
 		"record end-to-end latency for ~1/N packets when diagnosis is on (rounded down to a power of two)")
 	zipf := flag.Float64("zipf", 0,
 		"skew the flow mix with a Zipf(s) popularity draw instead of round-robin (0 = round-robin; try 1.2-2)")
+	reload := flag.Bool("reload", false,
+		"hot-swap the recompiled policy on SIGHUP (zero-downtime config generations; implies e2e latency sampling)")
 	flag.Parse()
 
 	if *seed == 0 {
@@ -213,19 +220,37 @@ func run() int {
 		fmt.Printf("diagnosis:         sampling every %v (flow 1/%d, e2e 1/%d, top-%d sketch)\n",
 			*diagInterval, *flowSample, *e2eSample, *topK)
 	}
-	if *telemetryAddr != "" || *diagInterval > 0 {
+	if *reload && opts.E2ESampleRate == 0 {
+		// Latency across a swap is the reload headline number; sample it
+		// even when the diagnosis layer is off.
+		opts.E2ESampleRate = *e2eSample
+	}
+	var srvRef *dataplane.Server
+	serveHTTP := *telemetryAddr != "" || *diagInterval > 0
+	if serveHTTP || *reload {
 		// The HTTP server binds from the OnServer hook — after the
 		// dataplane starts (so the handler can reach its tracer) but
 		// before the first packet is injected, so the endpoint observes
-		// the run live.
+		// the run live. The SIGHUP reload watcher arms here too: hot
+		// swaps are only meaningful against a started dataplane.
 		bindAddr := *telemetryAddr
 		if bindAddr == "" {
 			bindAddr = "127.0.0.1:0"
 		}
 		opts.OnServer = func(s *dataplane.Server) {
-			var extra map[string]http.Handler
+			srvRef = s
+			if *reload {
+				watchSIGHUP(s, *policyPath, *chain, *noParallel)
+				fmt.Printf("reload:            armed (kill -HUP %d re-compiles the policy and hot-swaps it)\n", os.Getpid())
+			}
+			if !serveHTTP {
+				return
+			}
+			extra := map[string]http.Handler{"/debug/config": configHandler(s)}
 			if diag != nil {
-				extra = diag.Handlers()
+				for path, h := range diag.Handlers() {
+					extra[path] = h
+				}
 				diag.SampleNow() // open the window before the first packet
 				diag.Start()
 			}
@@ -233,7 +258,7 @@ func run() int {
 			if err != nil {
 				fail(err)
 			}
-			fmt.Printf("telemetry:         http://%s/metrics (and /debug/telemetry, /debug/spans, /debug/criticalpath, /debug/pprof)\n", bound)
+			fmt.Printf("telemetry:         http://%s/metrics (and /debug/telemetry, /debug/spans, /debug/criticalpath, /debug/config, /debug/pprof)\n", bound)
 			if diag != nil {
 				fmt.Printf("diagnosis:         http://%s/debug/health and /debug/topflows\n", bound)
 			}
@@ -253,6 +278,11 @@ func run() int {
 	if *traceSample > 0 {
 		fmt.Printf("  traced packets:  %d hop events retained\n", len(live.Traces))
 	}
+	if *reload && srvRef != nil {
+		ci := srvRef.ConfigInfo()
+		fmt.Printf("  config gen:      %d (%d reloads, %d generations recorded)\n",
+			ci.Generation, ci.Reloads, len(ci.History))
+	}
 	if diag != nil {
 		diag.SampleNow() // close the window on the run's final state
 		reportHealth(diag)
@@ -267,6 +297,48 @@ func run() int {
 		diag.Stop()
 	}
 	return live.PoolLeak
+}
+
+// watchSIGHUP arms the zero-downtime reload path: every SIGHUP
+// re-reads and re-compiles the policy and hot-swaps it into the
+// running dataplane as a new config generation. Failures — a policy
+// that no longer parses, a compile error, a server already stopped —
+// are reported on stderr and the current generation keeps forwarding;
+// a reload can never take traffic down.
+func watchSIGHUP(s *dataplane.Server, policyPath, chain string, noParallel bool) {
+	hup := make(chan os.Signal, 4)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			pol, _, err := loadPolicy(policyPath, chain)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nfpd: reload: %v\n", err)
+				continue
+			}
+			compiled, err := core.Compile(pol, nil, core.Options{NoParallelism: noParallel})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nfpd: reload compile: %v\n", err)
+				continue
+			}
+			if err := s.Reload(1, compiled.Graph); err != nil {
+				fmt.Fprintf(os.Stderr, "nfpd: reload: %v\n", err)
+				continue
+			}
+			fmt.Printf("reload:            generation %d live (%s)\n", s.Generation(), compiled.Graph)
+		}
+	}()
+}
+
+// configHandler serves /debug/config: the live config generation,
+// reload history, and the conservation counters proving no packet was
+// lost across swaps.
+func configHandler(s *dataplane.Server) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.ConfigInfo())
+	})
 }
 
 // reportHealth prints the end-of-run diagnosis verdict: overall health,

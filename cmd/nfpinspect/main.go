@@ -15,6 +15,7 @@
 //	nfpinspect health -addr localhost:9090
 //	nfpinspect top -chain ids,monitor,lb -zipf 1.5
 //	nfpinspect metrics -addr localhost:9090 -watch 2s
+//	nfpinspect config -addr localhost:9090
 package main
 
 import (
@@ -43,6 +44,9 @@ func main() {
 			return
 		case "top":
 			topCmd(os.Args[2:])
+			return
+		case "config":
+			configCmd(os.Args[2:])
 			return
 		}
 	}

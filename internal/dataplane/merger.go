@@ -12,10 +12,14 @@ import (
 
 // mergeItem is one branch-tail report delivered to a merger instance:
 // the packet reference (still live even when the NF decided to drop, so
-// the merger can release the buffer) plus the join it belongs to.
+// the merger can release the buffer) plus the join it belongs to. It
+// carries the packet's generation runtime, not just a MID: during a
+// reload two generations of the same MID drain through the same
+// mergers, and each packet must resolve its join spec and continuation
+// against the plan it was injected under.
 type mergeItem struct {
 	pkt     *packet.Packet
-	mid     uint32
+	pr      *planRuntime
 	join    int
 	dropped bool
 	// cursor is the tail's span-chain position at delivery (end
@@ -25,8 +29,12 @@ type mergeItem struct {
 }
 
 // atKey identifies one packet at one join — the Accumulating Table key.
+// Keying by the generation runtime (pointer identity is per shard per
+// generation) keeps old- and new-generation entries of one MID
+// disjoint; PIDs are never reused across a packet's lifetime, so the
+// copies of one packet always land on one entry.
 type atKey struct {
-	mid  uint32
+	pr   *planRuntime
 	join int
 	pid  uint64
 }
@@ -131,7 +139,7 @@ func (m *merger) run() {
 }
 
 func (m *merger) handle(item mergeItem) {
-	key := atKey{mid: item.mid, join: item.join, pid: item.pkt.Meta.PID}
+	key := atKey{pr: item.pr, join: item.join, pid: item.pkt.Meta.PID}
 	e := m.at[key]
 	if e == nil {
 		e = &atEntry{pid: key.pid, firstNS: time.Now().UnixNano()}
@@ -146,21 +154,23 @@ func (m *merger) handle(item mergeItem) {
 		e.tails = append(e.tails, mergeTail{ver: item.pkt.Meta.Version, cursor: item.cursor})
 	}
 
-	spec := m.sh.joinSpec(item.mid, item.join)
+	spec := item.pr.plan.Joins[item.join]
 	if e.count < spec.ExpectTails {
 		return
 	}
 	delete(m.at, key)
 	m.atSize.Set(int64(len(m.at)))
 	m.mergeLat.Record(time.Now().UnixNano() - e.firstNS)
-	m.finalize(item.mid, spec, e)
+	m.finalize(item.pr, spec, e)
 }
 
 // finalize completes one packet's join: reconcile drops, apply the
 // merging operations to the base copy, release the other copies, and
-// run the continuation.
-func (m *merger) finalize(mid uint32, spec JoinSpec, e *atEntry) {
-	pr := m.sh.planRT(mid)
+// run the continuation — all against the packet's own generation
+// runtime, so a packet injected before a reload finishes on the plan
+// that admitted it.
+func (m *merger) finalize(pr *planRuntime, spec JoinSpec, e *atEntry) {
+	mid := pr.plan.MID
 	base := e.versions[spec.BaseVersion]
 
 	// Close every sampled tail's merge-wait span against one shared
@@ -176,7 +186,7 @@ func (m *merger) finalize(mid uint32, spec JoinSpec, e *atEntry) {
 				PID: e.pid, MID: mid, Ver: tl.ver,
 				Stage: telemetry.StageMergeWait, Name: m.name,
 				Join: spec.ID + 1, Begin: tl.cursor, TS: cursor,
-				Shard: m.sh.spanID,
+				Shard: m.sh.spanID, Gen: pr.spanGen,
 			})
 		}
 	}
@@ -240,7 +250,7 @@ func (m *merger) finalize(mid uint32, spec JoinSpec, e *atEntry) {
 			PID: e.pid, MID: mid, Ver: base.Meta.Version,
 			Stage: telemetry.StageMerge, Name: m.name,
 			Join: spec.ID + 1, Begin: cursor, TS: now,
-			Shard: m.sh.spanID,
+			Shard: m.sh.spanID, Gen: pr.spanGen,
 		})
 		cursor = now
 	}

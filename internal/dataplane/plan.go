@@ -12,6 +12,7 @@ package dataplane
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"nfp/internal/graph"
 	"nfp/internal/packet"
@@ -110,6 +111,19 @@ type Plan struct {
 	BaseVersion uint8
 	// MaxVersion is the highest version used (pool sizing/diagnostics).
 	MaxVersion uint8
+}
+
+// CompileHash is a structural fingerprint of the compiled plan — the
+// /debug/config compile hash. Two compilations of the same policy
+// yield the same hash, so an operator can tell a no-op reload from a
+// real policy change at a glance. The graph's canonical string plus
+// the lowered table shape is hashed; FNV-64a is plenty for an
+// operator-facing identity check.
+func (p *Plan) CompileHash() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d|%d|%d|%d", p.MID, p.Graph.String(),
+		len(p.Nodes), len(p.Joins), p.BaseVersion, p.MaxVersion)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // CopiesPerPacket returns how many packet copies the plan makes per

@@ -111,13 +111,15 @@ func (n *nodeRT) tail() *segNF { return &n.nfs[len(n.nfs)-1] }
 // run is the runtime goroutine body. It polls the receive ring —
 // DPDK-style busy polling softened with the bounded spin+park waiter,
 // so an idle or stalled runtime releases its core — until the server
-// stops and the ring drains.
+// stops, or a reload retires this runtime's generation, and the ring
+// drains (retirement implies it already has: retired is only set after
+// the generation's in-flight count reached zero).
 func (n *nodeRT) run() {
 	idle := ring.Waiter{SpinLimit: n.server.cfg.SpinLimit}
 	for {
 		cnt := n.rx.DequeueBatch(n.burst)
 		if cnt == 0 {
-			if n.server.stopped.Load() {
+			if n.server.stopped.Load() || n.pr.retired.Load() {
 				return
 			}
 			idle.Wait()
@@ -202,7 +204,7 @@ func (n *nodeRT) dropBurst(s *segNF, pkts []*packet.Packet, cause *telemetry.Cou
 			tracer.RecordSpan(telemetry.TraceEvent{
 				PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
 				Stage: stage, Name: s.plan.NF.String(), Begin: c, TS: now,
-				Shard: n.sh.spanID,
+				Shard: n.sh.spanID, Gen: n.pr.spanGen,
 			})
 			c = now
 		}
@@ -258,7 +260,7 @@ func (n *nodeRT) ringWaitSpans(tracer *telemetry.Tracer, pkts []*packet.Packet) 
 				PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
 				Stage: telemetry.StageRingWait, Name: h.plan.NF.String(),
 				Begin: tracer.TakeCursor(pkt.Meta.PID, pkt.Meta.Version, h.plan.ID),
-				TS:    t1, Shard: n.sh.spanID,
+				TS:    t1, Shard: n.sh.spanID, Gen: n.pr.spanGen,
 			})
 		}
 	}
@@ -268,11 +270,11 @@ func (n *nodeRT) ringWaitSpans(tracer *telemetry.Tracer, pkts []*packet.Packet) 
 // nfSpan records one packet's NF service span against the burst's
 // amortized invoke interval. Out of line for the same hot-loop code
 // size reason as ringWaitSpans.
-func (s *segNF) nfSpan(tracer *telemetry.Tracer, pkt *packet.Packet, begin, end int64, shard int) {
+func (s *segNF) nfSpan(tracer *telemetry.Tracer, pkt *packet.Packet, begin, end int64, shard, gen int) {
 	tracer.RecordSpan(telemetry.TraceEvent{
 		PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
 		Stage: telemetry.StageNF, Name: s.plan.NF.String(),
-		Begin: begin, TS: end, Shard: shard,
+		Begin: begin, TS: end, Shard: shard, Gen: gen,
 	})
 }
 
@@ -326,7 +328,7 @@ func (n *nodeRT) processBurst(pkts []*packet.Packet) {
 		dropped := 0
 		for i, pkt := range pkts {
 			if tracer.Sampled(pkt.Meta.PID) {
-				s.nfSpan(tracer, pkt, begin, cursor, n.sh.spanID)
+				s.nfSpan(tracer, pkt, begin, cursor, n.sh.spanID, n.pr.spanGen)
 			}
 			if n.verdicts[i] == nf.Drop {
 				dropped++

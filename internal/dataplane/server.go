@@ -224,7 +224,10 @@ func pidMask(rate int) uint64 {
 // planRuntime is one shard's installation of a service graph: the
 // shared compiled Plan plus this shard's segment runtimes. A sharded
 // server holds Config.Shards planRuntimes per MID, one per shard, all
-// referencing the same immutable Plan.
+// referencing the same immutable Plan. A Reload stands up a whole new
+// planRuntime per shard (a new config generation) beside the old one,
+// swaps the dispatch map, and drains the old runtime via the
+// inflight/gone/retired protocol below.
 type planRuntime struct {
 	plan *Plan
 	// rts holds one runtime per fused segment (per NF when fusion is
@@ -235,6 +238,35 @@ type planRuntime struct {
 	// e2eLat records sampled ingress→output latency for this graph
 	// (nil unless Config.E2ESampleRate enabled it).
 	e2eLat *telemetry.Histogram
+
+	// gen is the config generation that installed this runtime (1 for
+	// the initial install; each Reload bumps the server generation).
+	// spanGen is the TraceEvent.Gen tag: gen for reloaded generations,
+	// 0 for generation 1 so pre-reload trace output stays
+	// byte-identical (the field is omitempty).
+	gen     uint64
+	spanGen int
+
+	// inflight counts packets injected into this runtime that have not
+	// yet reached their terminal output/drop event. Injectors reserve a
+	// slot via shard.acquire BEFORE enqueueing, and deliver's ToOutput
+	// arm releases it, so inflight == 0 means no packet of this
+	// generation exists anywhere: rings, NF bursts, mergers, or drop
+	// routes.
+	inflight atomic.Int64
+	// terminal counts completed packets (outputs + drops) of this
+	// runtime — the per-generation drain meter.
+	terminal atomic.Uint64
+	// gone seals the runtime after a reload swapped it out of the
+	// dispatch map: acquire retries against the published successor, so
+	// no new packet can enter, and inflight becomes monotonically
+	// draining.
+	gone atomic.Bool
+	// retired tells the runtime goroutines to exit; it is set only
+	// after inflight reached 0, so every ring is provably empty.
+	retired atomic.Bool
+	// wg tracks this runtime's segment goroutines for teardown.
+	wg sync.WaitGroup
 }
 
 // Server is one NFP server (Figure 3): shared memory pool, classifier,
@@ -245,7 +277,13 @@ type Server struct {
 	pool       *mempool.Pool
 	classifier Classifier
 	plansMu    sync.Mutex // serializes graph installation
-	shards     []*shard
+	// reloadMu serializes Reload against other Reloads AND against
+	// Stop: a Stop that lands mid-reload waits for the reload to finish
+	// draining the outgoing generation, then drains the incoming one —
+	// both generations drain, never neither (the Stop-vs-inflight
+	// ordering hazard).
+	reloadMu sync.Mutex
+	shards   []*shard
 	// out is the fan-in output channel (nil when Config.ShardedOutputs
 	// exposes the per-shard channels instead).
 	out chan *packet.Packet
@@ -285,6 +323,21 @@ type Server struct {
 	// only when e2eOn; see Config.E2ESampleRate).
 	e2eOn   bool
 	e2eMask uint64
+
+	// Config-generation state. generation is the live config
+	// generation (1 after New; each successful Reload bumps it), also
+	// published on the nfp_config_generation gauge. history records one
+	// entry per install/reload event for /debug/config.
+	generation atomic.Uint64
+	genG       *telemetry.Gauge
+	reloadsC   *telemetry.Counter
+	cfgMu      sync.Mutex
+	history    []GenerationInfo
+	// retiredPanics/retiredRestarts preserve the crash counters of
+	// drained generations after their runtimes are torn down, so Stats
+	// stays cumulative across reloads.
+	retiredPanics   atomic.Uint64
+	retiredRestarts atomic.Uint64
 }
 
 // New creates a server from cfg.
@@ -309,6 +362,10 @@ func New(cfg Config) *Server {
 	s.sheds = s.tel.Counter("nfp_ring_sheds_total")
 	s.bpYields = s.tel.Counter("nfp_backpressure_yields_total")
 	s.bpParks = s.tel.Counter("nfp_backpressure_parks_total")
+	s.generation.Store(1)
+	s.genG = s.tel.Gauge("nfp_config_generation")
+	s.genG.Set(1)
+	s.reloadsC = s.tel.Counter("nfp_reloads_total")
 	s.classifier.bindTelemetry(s.tel)
 	if cfg.FlowAccount != nil {
 		s.classifier.bindFlowObserver(cfg.FlowAccount, pidMask(cfg.FlowSampleRate))
@@ -450,9 +507,10 @@ func (s *Server) AddGraphProvide(mid uint32, g graph.Node, provide func(shard in
 		s.plansMu.Unlock()
 		return fmt.Errorf("dataplane: MID %d already installed", mid)
 	}
+	gen := s.generation.Load()
 	prs := make([]*planRuntime, len(s.shards))
 	for i, sh := range s.shards {
-		pr, err := s.buildRuntime(sh, plan, provide)
+		pr, err := s.buildRuntime(sh, plan, provide, gen)
 		if err != nil {
 			s.plansMu.Unlock()
 			return err
@@ -482,12 +540,35 @@ func (s *Server) AddGraphProvide(mid uint32, g graph.Node, provide func(shard in
 			s.startRuntimes(pr)
 		}
 	}
+	s.recordGeneration(GenerationInfo{
+		Generation:  gen,
+		MID:         mid,
+		Hash:        plan.CompileHash(),
+		InstalledNS: time.Now().UnixNano(),
+	})
 	return nil
 }
 
-// buildRuntime instantiates one shard's runtimes for a compiled plan.
-func (s *Server) buildRuntime(sh *shard, plan *Plan, provide func(int, graph.NF) nf.NF) (*planRuntime, error) {
-	pr := &planRuntime{plan: plan, owner: make([]*nodeRT, len(plan.Nodes))}
+// labelGen appends the config-generation label for reloaded
+// generations; generation 1 keeps every pre-reload series name and
+// label set bit-identical (mirroring labelShard). The label is
+// load-bearing, not just cosmetic: the registry's create-or-get
+// semantics would otherwise silently merge a reloaded graph's series
+// into the old generation's.
+func labelGen(labels []telemetry.Label, gen uint64) []telemetry.Label {
+	if gen > 1 {
+		return append(labels, telemetry.L("gen", strconv.FormatUint(gen, 10)))
+	}
+	return labels
+}
+
+// buildRuntime instantiates one shard's runtimes for a compiled plan
+// at config generation gen.
+func (s *Server) buildRuntime(sh *shard, plan *Plan, provide func(int, graph.NF) nf.NF, gen uint64) (*planRuntime, error) {
+	pr := &planRuntime{plan: plan, owner: make([]*nodeRT, len(plan.Nodes)), gen: gen}
+	if gen > 1 {
+		pr.spanGen = int(gen)
+	}
 	shedSet := plan.ShedSet(s.cfg.NodePriority)
 	// Segment layout: the shed-lowest-priority policy sheds into
 	// specific rings, so its shed set is an isolation boundary the
@@ -504,11 +585,11 @@ func (s *Server) buildRuntime(sh *shard, plan *Plan, provide func(int, graph.NF)
 	}
 	midLabel := telemetry.L("mid", strconv.FormatUint(uint64(plan.MID), 10))
 	if s.e2eOn {
-		pr.e2eLat = s.tel.Histogram("nfp_e2e_latency_ns", sh.labelShard([]telemetry.Label{midLabel})...)
+		pr.e2eLat = s.tel.Histogram("nfp_e2e_latency_ns", labelGen(sh.labelShard([]telemetry.Label{midLabel}), gen)...)
 	}
 	for _, seg := range segs {
 		head := &plan.Nodes[seg[0]]
-		headLabels := sh.labelShard([]telemetry.Label{telemetry.L("nf", head.NF.String()), midLabel})
+		headLabels := labelGen(sh.labelShard([]telemetry.Label{telemetry.L("nf", head.NF.String()), midLabel}), gen)
 		n := &nodeRT{
 			nfs:           make([]segNF, len(seg)),
 			rx:            ring.NewMPSC(s.cfg.RingSize),
@@ -538,7 +619,7 @@ func (s *Server) buildRuntime(sh *shard, plan *Plan, provide func(int, graph.NF)
 					return nil, fmt.Errorf("dataplane: node %v: %w", pn.NF, err)
 				}
 			}
-			labels := sh.labelShard([]telemetry.Label{telemetry.L("nf", pn.NF.String()), midLabel})
+			labels := labelGen(sh.labelShard([]telemetry.Label{telemetry.L("nf", pn.NF.String()), midLabel}), gen)
 			sn := &n.nfs[k]
 			sn.plan = pn
 			sn.pktsIn = s.tel.Counter("nfp_nf_packets_in_total", labels...)
@@ -565,12 +646,231 @@ func (s *Server) buildRuntime(sh *shard, plan *Plan, provide func(int, graph.NF)
 func (s *Server) startRuntimes(pr *planRuntime) {
 	for _, n := range pr.rts {
 		s.wg.Add(1)
+		pr.wg.Add(1)
 		go func(n *nodeRT) {
 			defer s.wg.Done()
+			defer pr.wg.Done()
 			n.run()
 		}(n)
 	}
 }
+
+// Reload hot-swaps the service graph installed under mid for a freshly
+// compiled one with zero packet loss — the config-generation protocol:
+//
+//  1. compile g to a new Plan and build per-shard runtimes (rings,
+//     fused segments, NF instances, generation-labelled telemetry) for
+//     the next generation, entirely beside the live one;
+//  2. start the new runtimes, then atomically swap each shard's
+//     dispatch map entry (COW, like every plans update) — packets
+//     classified after the swap execute on the new generation, while
+//     in-flight packets keep their generation's runtime pointer all
+//     the way through rings, mergers and drop routes;
+//  3. seal the old generation (acquire retries against the successor)
+//     and drain it: wait until its in-flight count reaches zero, so
+//     every old-generation packet has surfaced as an output or a drop;
+//  4. retire it: its goroutines exit, its crash counters roll up into
+//     the server totals, and its drain is recorded on
+//     nfp_reload_drained_total{gen=<old>} and in ConfigInfo.
+//
+// Reload may be called while traffic flows (that is the point) and
+// from any goroutine; concurrent Reloads and Stop serialize on
+// reloadMu. The NF instances of the new generation come fresh from the
+// registry — reloading is a policy swap, not a state migration.
+func (s *Server) Reload(mid uint32, g graph.Node) error {
+	return s.ReloadProvide(mid, g, nil)
+}
+
+// ReloadProvide is Reload with per-shard NF instance injection, the
+// reload analog of AddGraphProvide (tests and state-migration layers
+// use it to hand the new generation pre-built instances).
+func (s *Server) ReloadProvide(mid uint32, g graph.Node, provide func(shard int, node graph.NF) nf.NF) error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if s.stopped.Load() {
+		return fmt.Errorf("dataplane: server stopped")
+	}
+	plan, err := CompilePlan(mid, g)
+	if err != nil {
+		return err
+	}
+
+	// Build the next generation beside the live one.
+	s.plansMu.Lock()
+	old := make([]*planRuntime, len(s.shards))
+	for i, sh := range s.shards {
+		old[i] = (*sh.plans.Load())[mid]
+	}
+	if old[0] == nil {
+		s.plansMu.Unlock()
+		return fmt.Errorf("dataplane: MID %d not installed (use AddGraph)", mid)
+	}
+	nextGen := s.generation.Load() + 1
+	prs := make([]*planRuntime, len(s.shards))
+	for i, sh := range s.shards {
+		pr, err := s.buildRuntime(sh, plan, provide, nextGen)
+		if err != nil {
+			s.plansMu.Unlock()
+			return err
+		}
+		prs[i] = pr
+	}
+	started := s.started.Load()
+	s.plansMu.Unlock()
+
+	// Stand the new generation up before any packet can reach it.
+	if started {
+		for _, pr := range prs {
+			s.startRuntimes(pr)
+		}
+	}
+
+	// Snapshot the old generation's completion meter before the swap so
+	// the drain counter covers everything that finishes after it.
+	var preTerm uint64
+	for _, pr := range old {
+		preTerm += pr.terminal.Load()
+	}
+
+	// Atomic dispatch-table swap, per shard.
+	s.plansMu.Lock()
+	for i, sh := range s.shards {
+		cur := *sh.plans.Load()
+		next := make(map[uint32]*planRuntime, len(cur))
+		for k, v := range cur {
+			next[k] = v
+		}
+		next[mid] = prs[i]
+		sh.plans.Store(&next)
+	}
+	s.generation.Store(nextGen)
+	s.plansMu.Unlock()
+	s.genG.Set(int64(nextGen))
+	s.reloadsC.Inc()
+	swapNS := time.Now().UnixNano()
+
+	// Seal the old generation: acquire's increment-then-check handshake
+	// guarantees that once gone is visible, no injector can add to its
+	// inflight without observing the seal and retrying against the
+	// successor published above.
+	for _, pr := range old {
+		pr.gone.Store(true)
+	}
+
+	// Drain: wait for every old-generation packet to reach its terminal
+	// output/drop event. Like Stop, this requires the output consumer
+	// to keep draining.
+	w := ring.Waiter{SpinLimit: s.cfg.SpinLimit}
+	for {
+		var inflight int64
+		for _, pr := range old {
+			inflight += pr.inflight.Load()
+		}
+		if inflight == 0 {
+			break
+		}
+		w.Wait()
+	}
+
+	// Retire: runtimes exit (rings are provably empty), crash counters
+	// roll up so Stats stays cumulative, and the event is recorded.
+	var drained uint64
+	for _, pr := range old {
+		pr.retired.Store(true)
+		drained += pr.terminal.Load()
+		for _, n := range pr.rts {
+			for i := range n.nfs {
+				s.retiredPanics.Add(n.nfs[i].panics.Value())
+				s.retiredRestarts.Add(n.nfs[i].restarts.Value())
+			}
+		}
+	}
+	drained -= preTerm
+	if started {
+		for _, pr := range old {
+			pr.wg.Wait()
+		}
+	}
+	oldGen := old[0].gen
+	s.tel.Counter("nfp_reload_drained_total",
+		telemetry.L("gen", strconv.FormatUint(oldGen, 10))).Add(drained)
+	s.recordGeneration(GenerationInfo{
+		Generation:  nextGen,
+		MID:         mid,
+		Hash:        plan.CompileHash(),
+		InstalledNS: swapNS,
+		SwappedNS:   swapNS,
+		DrainNS:     time.Now().UnixNano() - swapNS,
+		Drained:     drained,
+	})
+	return nil
+}
+
+// GenerationInfo records one config install/reload event for
+// /debug/config.
+type GenerationInfo struct {
+	// Generation is the config generation this event produced.
+	Generation uint64 `json:"generation"`
+	// MID is the service graph the event installed or replaced.
+	MID uint32 `json:"mid"`
+	// Hash is the compiled plan's structural hash — two reloads to the
+	// same policy produce the same hash.
+	Hash string `json:"compile_hash"`
+	// InstalledNS is when the runtimes were built (unix nanoseconds).
+	InstalledNS int64 `json:"installed_ns"`
+	// SwappedNS is when the dispatch tables swapped to this generation
+	// (0 for the initial install, which was never swapped in live).
+	SwappedNS int64 `json:"swapped_ns,omitempty"`
+	// DrainNS is how long draining the previous generation took after
+	// the swap, and Drained how many of its in-flight packets completed
+	// during that window.
+	DrainNS int64  `json:"drain_ns,omitempty"`
+	Drained uint64 `json:"drained,omitempty"`
+}
+
+// ConfigInfo is the /debug/config snapshot: live generation plus the
+// conservation counters that prove a reload lost nothing.
+type ConfigInfo struct {
+	Generation uint64           `json:"generation"`
+	Reloads    uint64           `json:"reloads"`
+	Shards     int              `json:"shards"`
+	Injected   uint64           `json:"injected"`
+	Outputs    uint64           `json:"outputs"`
+	Drops      uint64           `json:"drops"`
+	PoolInUse  int              `json:"pool_in_use"`
+	History    []GenerationInfo `json:"history"`
+}
+
+// recordGeneration appends one event to the bounded config history.
+func (s *Server) recordGeneration(gi GenerationInfo) {
+	s.cfgMu.Lock()
+	defer s.cfgMu.Unlock()
+	s.history = append(s.history, gi)
+	if n := len(s.history); n > 32 {
+		s.history = s.history[n-32:]
+	}
+}
+
+// ConfigInfo returns the current config-generation snapshot.
+func (s *Server) ConfigInfo() ConfigInfo {
+	s.cfgMu.Lock()
+	hist := append([]GenerationInfo(nil), s.history...)
+	s.cfgMu.Unlock()
+	return ConfigInfo{
+		Generation: s.generation.Load(),
+		Reloads:    s.reloadsC.Value(),
+		Shards:     len(s.shards),
+		Injected:   s.injected.Value(),
+		Outputs:    s.outCount.Value(),
+		Drops:      s.drops.Value(),
+		PoolInUse:  s.pool.InUse(),
+		History:    hist,
+	}
+}
+
+// Generation returns the live config generation (1 until the first
+// Reload).
+func (s *Server) Generation() uint64 { return s.generation.Load() }
 
 // Classifier exposes the classification table for rule installation.
 // The table is shared by every shard's classifier loop (lookups are
@@ -677,10 +977,19 @@ func (s *Server) supervise() {
 
 // Stop drains in-flight packets and terminates all goroutines. It must
 // be called exactly once, after the caller stops injecting.
+//
+// Stop serializes with Reload: called mid-reload it first waits for
+// the reload to finish draining the outgoing generation, then drains
+// the incoming one — the global conservation wait below covers every
+// generation, because injected/outputs/drops are generation-blind
+// totals and each packet terminates exactly once on the runtime it was
+// injected into.
 func (s *Server) Stop() {
 	if !s.started.Load() || s.stopped.Load() {
 		return
 	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
 	w := ring.Waiter{SpinLimit: s.cfg.SpinLimit}
 	// First drain the sharded ingress rings: a packet sitting there is
 	// not yet counted as injected, so the conservation wait below could
@@ -733,7 +1042,7 @@ func (s *Server) Inject(pkt *packet.Packet) bool {
 			return false
 		}
 		sh := s.shards[0]
-		pr := (*sh.plans.Load())[mid]
+		pr := sh.acquire(mid, 1)
 		if pr == nil {
 			return false
 		}
@@ -755,7 +1064,7 @@ func (s *Server) Inject(pkt *packet.Packet) bool {
 // so cross-server flow affinity is preserved.
 func (s *Server) InjectPreclassified(pkt *packet.Packet) bool {
 	sh := s.shards[s.ShardOf(pkt)]
-	pr := (*sh.plans.Load())[pkt.Meta.MID]
+	pr := sh.acquire(pkt.Meta.MID, 1)
 	if pr == nil {
 		return false
 	}
@@ -826,14 +1135,17 @@ func (s *Server) InjectBatch(pkts []*packet.Packet) int {
 	}
 
 	// Fan out runs of packets sharing a MID (and therefore a first hop)
-	// as one burst each.
+	// as one burst each. acquire re-resolves the runtime per run: a
+	// concurrent reload may have swapped the generation since the
+	// snapshot above, and the snapshot's nil-check stays valid because
+	// graphs are only ever replaced, never removed.
 	for i := 0; i < n; {
 		mid := pkts[i].Meta.MID
 		j := i + 1
 		for j < n && pkts[j].Meta.MID == mid {
 			j++
 		}
-		sh.injectBurst(plans[mid], pkts[i:j])
+		sh.injectBurst(sh.acquire(mid, j-i), pkts[i:j])
 		i = j
 	}
 	return n
@@ -888,6 +1200,10 @@ func (s *Server) Stats() Stats {
 		MergeErrors: s.mergeErrs.Value(),
 		Pool:        s.pool.Stats(),
 	}
+	// Crash counters of drained generations were rolled up at retire
+	// time; live runtimes add their own.
+	st.Panics = s.retiredPanics.Load()
+	st.Restarts = s.retiredRestarts.Load()
 	for _, sh := range s.shards {
 		for _, pr := range *sh.plans.Load() {
 			for _, n := range pr.rts {

@@ -64,6 +64,29 @@ func (sh *shard) labelShard(labels []telemetry.Label) []telemetry.Label {
 	return labels
 }
 
+// acquire resolves the live runtime of a MID and reserves n in-flight
+// slots on it — the injector half of the reload drain protocol. The
+// increment-then-check order against planRuntime.gone makes the race
+// with a concurrent generation swap safe: if the reloader observed
+// inflight == 0 after setting gone, this injector's increment must
+// come later, so it sees gone, backs out, and re-resolves the map —
+// which already publishes the successor generation. Returns nil only
+// when the MID has no installed graph (graphs are replaced, never
+// removed, so a retry cannot lose the MID).
+func (sh *shard) acquire(mid uint32, n int) *planRuntime {
+	for {
+		pr := (*sh.plans.Load())[mid]
+		if pr == nil {
+			return nil
+		}
+		pr.inflight.Add(int64(n))
+		if !pr.gone.Load() {
+			return pr
+		}
+		pr.inflight.Add(int64(-n))
+	}
+}
+
 // ingressLoop is the shard's classifier goroutine (sharded mode): it
 // drains the ingress ring in bursts and classifies + dispatches each
 // burst, mirroring a DPDK lcore polling its RSS receive queue.
@@ -112,13 +135,17 @@ func (sh *shard) classifyBurst(pkts []*packet.Packet) {
 			p.Free()
 		}
 	}
+	// acquire re-resolves the runtime per run: a reload may swap the
+	// generation between the snapshot above and here, and the
+	// snapshot's nil-check stays valid because graphs are only ever
+	// replaced, never removed.
 	for i := 0; i < m; {
 		mid := pkts[i].Meta.MID
 		j := i + 1
 		for j < m && pkts[j].Meta.MID == mid {
 			j++
 		}
-		sh.injectBurst(plans[mid], pkts[i:j])
+		sh.injectBurst(sh.acquire(mid, j-i), pkts[i:j])
 		i = j
 	}
 	sh.ingress.Add(uint64(len(pkts)))
@@ -159,7 +186,7 @@ func (sh *shard) ingressPush(pkts []*packet.Packet) {
 // ingress queueing — including time in the shard's ingress ring — is
 // attributed, and ends at now — the cursor every downstream span
 // chains from.
-func (sh *shard) classifySpan(pkt *packet.Packet, now int64) {
+func (sh *shard) classifySpan(pr *planRuntime, pkt *packet.Packet, now int64) {
 	begin := pkt.Ingress
 	if begin <= 0 || begin > now {
 		begin = now
@@ -167,11 +194,13 @@ func (sh *shard) classifySpan(pkt *packet.Packet, now int64) {
 	sh.srv.tracer.RecordSpan(telemetry.TraceEvent{
 		PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
 		Stage: telemetry.StageClassify, Name: "classifier",
-		Begin: begin, TS: now, Shard: sh.spanID,
+		Begin: begin, TS: now, Shard: sh.spanID, Gen: pr.spanGen,
 	})
 }
 
-// injectBurst sends a burst of same-MID packets into their graph.
+// injectBurst sends a burst of same-MID packets into their graph. The
+// caller must have reserved the burst's in-flight slots on pr via
+// acquire.
 func (sh *shard) injectBurst(pr *planRuntime, pkts []*packet.Packet) {
 	now := time.Now().UnixNano()
 	for _, pkt := range pkts {
@@ -179,13 +208,15 @@ func (sh *shard) injectBurst(pr *planRuntime, pkts []*packet.Packet) {
 		// group only read the layout cache (see injectInto).
 		_ = pkt.Parse()
 		if sh.srv.tracer.Sampled(pkt.Meta.PID) {
-			sh.classifySpan(pkt, now)
+			sh.classifySpan(pr, pkt, now)
 		}
 	}
 	sh.srv.injected.Add(uint64(len(pkts)))
 	sh.execBurst(pr, pr.plan.Entry, pkts, now)
 }
 
+// injectInto sends one packet into its graph; the caller must have
+// reserved its in-flight slot on pr via acquire.
 func (sh *shard) injectInto(pr *planRuntime, pkt *packet.Packet) bool {
 	// Pre-parse so NFs sharing the packet in a no-copy parallel group
 	// only read the layout cache (writing it lazily would be a data
@@ -195,7 +226,7 @@ func (sh *shard) injectInto(pr *planRuntime, pkt *packet.Packet) bool {
 	var cursor int64
 	if sh.srv.tracer.Sampled(pkt.Meta.PID) {
 		cursor = time.Now().UnixNano()
-		sh.classifySpan(pkt, cursor)
+		sh.classifySpan(pr, pkt, cursor)
 	}
 	sh.exec(pr, pr.plan.Entry, pkt, cursor)
 	return true
@@ -234,7 +265,7 @@ func (sh *shard) exec(pr *planRuntime, ds []Dispatch, pkt *packet.Packet, cursor
 				s.tracer.RecordSpan(telemetry.TraceEvent{
 					PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: d.NewVersion,
 					Stage: telemetry.StageCopy, Name: "copy", SrcVer: d.SrcVersion,
-					Begin: curs[d.SrcVersion], TS: now, Shard: sh.spanID,
+					Begin: curs[d.SrcVersion], TS: now, Shard: sh.spanID, Gen: pr.spanGen,
 				})
 				curs[d.NewVersion] = now
 			}
@@ -307,8 +338,12 @@ func (sh *shard) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped 
 		// Merger agent (§5.3): hash the immutable PID to pick the
 		// merger instance, so all copies of one packet meet at the
 		// same merger while different packets spread across instances.
+		// The item carries the packet's OWN generation runtime: during
+		// a reload, old- and new-generation packets of the same MID can
+		// interleave at one merger, and each must finalize against its
+		// own plan tables.
 		m := sh.mergers[flow.HashPID(pkt.Meta.PID)%uint64(len(sh.mergers))]
-		m.in <- mergeItem{pkt: pkt, mid: pr.plan.MID, join: t.Join, dropped: dropped, cursor: cursor}
+		m.in <- mergeItem{pkt: pkt, pr: pr, join: t.Join, dropped: dropped, cursor: cursor}
 	case ToOutput:
 		if s.tracer.Sampled(pkt.Meta.PID) {
 			st := telemetry.StageOutput
@@ -318,11 +353,20 @@ func (sh *shard) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped 
 			s.tracer.RecordSpan(telemetry.TraceEvent{
 				PID: pkt.Meta.PID, MID: pkt.Meta.MID, Ver: pkt.Meta.Version,
 				Stage: st, Begin: cursor, TS: time.Now().UnixNano(), Shard: sh.spanID,
+				Gen: pr.spanGen,
 			})
 		}
+		// Terminal event: exactly one per injected packet (copies die
+		// at joins, drop intentions resolve to one terminal drop). The
+		// in-flight slot is released only after the buffer is freed or
+		// the output send completed, so inflight == 0 — the reload
+		// drain condition — means every packet of the generation has
+		// fully surfaced, not merely been handed off.
 		if dropped {
 			s.drops.Add(1)
 			pkt.Free()
+			pr.terminal.Add(1)
+			pr.inflight.Add(-1)
 			return
 		}
 		if s.e2eOn && pkt.Meta.PID&s.e2eMask == 0 && pkt.Ingress > 0 {
@@ -330,6 +374,8 @@ func (sh *shard) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped 
 		}
 		s.outCount.Add(1)
 		sh.out <- pkt
+		pr.terminal.Add(1)
+		pr.inflight.Add(-1)
 	}
 }
 
@@ -339,11 +385,3 @@ func (sh *shard) deliverDrop(pr *planRuntime, t Target, pkt *packet.Packet, curs
 	sh.deliver(pr, t, pkt, true, cursor)
 }
 
-// joinSpec resolves a join for the shard's mergers. The Plan is shared
-// by every shard, so any shard's plans map yields the same spec.
-func (sh *shard) joinSpec(mid uint32, join int) JoinSpec {
-	return (*sh.plans.Load())[mid].plan.Joins[join]
-}
-
-// planRT resolves this shard's runtime of a plan for the mergers.
-func (sh *shard) planRT(mid uint32) *planRuntime { return (*sh.plans.Load())[mid] }

@@ -98,6 +98,10 @@ type TraceEvent struct {
 	// single-shard server keeps emitting byte-identical events (0 =
 	// not sharded).
 	Shard int `json:"shard,omitempty"`
+	// Gen is the config generation the span's packet was injected
+	// under, for spans recorded after a live reload (0 = generation 1,
+	// so a never-reloaded server keeps emitting byte-identical events).
+	Gen int `json:"gen,omitempty"`
 	// SrcVer is the version a copy span forked from (copy spans only).
 	SrcVer uint8 `json:"srcver,omitempty"`
 }
