@@ -249,6 +249,7 @@ func BenchmarkFig7_NFP_SeqChain5_Burst1(b *testing.B) {
 func BenchmarkFig7_NFP_SeqChain5_Burst32(b *testing.B) {
 	benchNFPGraphBurst(b, seqGraph(nfa.NFL3Fwd, 5), 32, "x")
 }
+
 // --- Shard scaling axis: Fig. 7 fused chain across 1/4/8 shards ---
 //
 // benchNFPGraphShards replays the tracked Fig. 7 fused configuration
@@ -415,6 +416,28 @@ func BenchmarkFig13_NorthSouth_Burst32_NoFusion(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchNFPGraphBurstFusion(b, res.Graph, 32, dataplane.FusionOff, "north-south payload")
+}
+
+// --- Flight recorder ablation ---
+//
+// BenchmarkFig7_NFP_SeqChain5_Burst32_NoFlightRec replays the tracked
+// Burst32 configuration with the flight recorder disabled (nil
+// recorder, no event rings, no drop sampling; the provenance counters
+// themselves stay — they are the accounting, not the observability
+// extra). ci.sh incident compares it against the default run to keep
+// the recorder tax within ~2%.
+func BenchmarkFig7_NFP_SeqChain5_Burst32_NoFlightRec(b *testing.B) {
+	srv := dataplane.New(dataplane.Config{
+		PoolSize: 2048, Mergers: 2, Burst: 32,
+		DisableFlightRecorder: true,
+	})
+	if err := srv.AddGraph(1, seqGraph(nfa.NFL3Fwd, 5)); err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	pumpBurst(b, srv, 32, "x")
 }
 
 // --- Figure 8: per-NF-type sequential vs parallel ---

@@ -21,6 +21,17 @@
 #                    table reports, it never gates — on a single-core
 #                    runner the axis measures sharding overhead, not
 #                    scaling, and the table says so.
+#   ./ci.sh incident — the flight-recorder smoke: boots nfpd with an
+#                    injected NF panic and an incident spool, asserts
+#                    /debug/flightrecorder reports a balanced drop
+#                    ledger (sum over causes == total drops), a
+#                    cause=panic count, and a parseable incident
+#                    bundle; exercises nfpinspect incident against the
+#                    live server and the spool; then reports the
+#                    recorder's tax on the tracked Burst32 benchmark
+#                    into a fail-soft BENCH_flightrec.json. Set
+#                    SPOOL_DIR to keep the spool (CI uploads it as an
+#                    artifact on failure).
 #   ./ci.sh fuzz   — the non-blocking fuzz smoke: each native fuzz
 #                    target gets a short -fuzztime budget (override with
 #                    FUZZ_TIME) on top of its checked-in seed corpus.
@@ -200,6 +211,99 @@ EOF
     echo "wrote ${BENCH_OUT:-BENCH_reload.json}"
     kill "$pid" && wait "$pid" || true
     pid=""
+    exit 0
+fi
+
+if [ "${1:-}" = "incident" ]; then
+    bin="$(mktemp -d)"
+    log="$bin/nfpd.log"
+    spool="${SPOOL_DIR:-$bin/spool}"
+    pid=""
+    trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null; rm -rf "$bin"' EXIT
+    go build -o "$bin/nfpd" ./cmd/nfpd
+    go build -o "$bin/nfpinspect" ./cmd/nfpinspect
+    # Inject a deterministic NF panic mid-run: the monitor dies on its
+    # 5000th packet, the supervisor restarts it, and the flight
+    # recorder must spool an incident bundle for the panic while the
+    # ledger stays balanced. -telemetry-addr keeps the server
+    # queryable after the traffic drains.
+    "$bin/nfpd" -chain ids,monitor,lb -packets 300000 -seed 42 \
+        -panic-nf monitor@5000 -flight-spool "$spool" -flight-interval 1s \
+        -drop-sample 8 -telemetry-addr 127.0.0.1:0 >"$log" 2>&1 &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's|^telemetry: *http://\([^/]*\)/metrics.*|\1|p' "$log")"
+        [ -n "$addr" ] && break
+        kill -0 "$pid" 2>/dev/null || { cat "$log"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { cat "$log"; exit 1; }
+    # Wait for the traffic run to finish (nfpd prints its summary, then
+    # keeps serving) so every in-flight drop has resolved terminally —
+    # the conservation audit wants the final counts.
+    for _ in $(seq 1 600); do
+        grep -q 'outputs/drops:' "$log" && break
+        kill -0 "$pid" 2>/dev/null || { cat "$log"; exit 1; }
+        sleep 0.5
+    done
+    curl -fsS "http://$addr/debug/flightrecorder" > "$bin/status.json"
+    python3 - "$bin/status.json" <<'EOF'
+import json, sys
+st = json.load(open(sys.argv[1]))
+assert st["ledger_ok"], "drop ledger broken: %s" % st.get("ledger_error")
+led = st["ledger"]
+assert led["by_cause"].get("panic", 0) > 0, "injected panic not attributed: %r" % led
+assert led["by_cause"].get("unknown", 0) == 0, "anonymous drops: %r" % led
+assert st["incidents"], "panic produced no incident bundle"
+assert st["bundles_written"] >= 1, st
+assert any(e["kind"] == "panic" for e in st["events"]), \
+    "event ring lost the panic: %r" % [e["kind"] for e in st["events"]]
+print("flight recorder: %d drops (%s), %d bundle(s) spooled" % (
+    led["total_drops"],
+    " ".join("%s=%d" % kv for kv in sorted(led["by_cause"].items()) if kv[1]),
+    st["bundles_written"]))
+EOF
+    # The newest spooled bundle must parse and carry the panic reason.
+    newest="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["incidents"][-1]["file"])' "$bin/status.json")"
+    curl -fsS "http://$addr/debug/flightrecorder?incident=$newest" > "$bin/bundle.json"
+    python3 - "$bin/bundle.json" <<'EOF'
+import json, sys
+b = json.load(open(sys.argv[1]))
+assert b["schema"] == 1, b["schema"]
+assert b["reason"].startswith("panic:"), b["reason"]
+assert b["build"], "bundle missing build info"
+assert b["events"], "bundle missing event tail"
+print("bundle %s: reason %s, %d events, %d metric counters" % (
+    sys.argv[1].split("/")[-1], b["reason"], len(b["events"]),
+    len(b.get("metrics", {}).get("counters", []))))
+EOF
+    # Path traversal must be rejected, not served.
+    code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/debug/flightrecorder?incident=..%2Fnfpd.log")"
+    [ "$code" = "400" ] || { echo "traversal got HTTP $code, want 400"; exit 1; }
+    "$bin/nfpinspect" incident -addr "$addr"
+    "$bin/nfpinspect" incident -addr "$addr" -json >/dev/null
+    "$bin/nfpinspect" incident -spool "$spool"
+    kill "$pid" && wait "$pid" || true
+    pid=""
+    # Fail-soft artifact: the flight recorder's tax on the tracked
+    # Burst32 benchmark (provenance counters + ring vs ablation).
+    raw="$bin/bench.txt"
+    go test -run '^$' -bench 'Fig7_NFP_SeqChain5_Burst32(_NoFlightRec)?$' \
+        -benchtime "${BENCH_TIME:-1s}" . | tee "$raw" || true
+    awk '
+        $1 ~ /^BenchmarkFig7_NFP_SeqChain5_Burst32(-[0-9]+)?$/ { on = $3 }
+        $1 ~ /^BenchmarkFig7_NFP_SeqChain5_Burst32_NoFlightRec(-[0-9]+)?$/ { off = $3 }
+        END {
+            if (on > 0 && off > 0) {
+                printf "{\n \"recorder_on_ns_per_op\": %s,\n \"recorder_off_ns_per_op\": %s,\n \"overhead_pct\": %.2f\n}\n", \
+                    on, off, 100 * (on - off) / off
+                printf "flight recorder tax: %.1f -> %.1f ns/op (%+.1f%%; non-gating)\n", \
+                    off, on, 100 * (on - off) / off > "/dev/stderr"
+            }
+        }
+    ' "$raw" > "${BENCH_OUT:-BENCH_flightrec.json}" || echo "warning: BENCH_flightrec.json failed (non-gating)"
+    echo "wrote ${BENCH_OUT:-BENCH_flightrec.json}"
     exit 0
 fi
 

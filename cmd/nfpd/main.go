@@ -34,6 +34,7 @@ import (
 	"nfp/internal/core"
 	"nfp/internal/dataplane"
 	"nfp/internal/experiments"
+	"nfp/internal/faultinject"
 	"nfp/internal/graph"
 	"nfp/internal/nf"
 	"nfp/internal/nfa"
@@ -42,6 +43,7 @@ import (
 	"nfp/internal/policy"
 	"nfp/internal/telemetry"
 	"nfp/internal/telemetry/diagnose"
+	"nfp/internal/telemetry/flightrec"
 	"nfp/internal/trafficgen"
 )
 
@@ -95,6 +97,14 @@ func run() int {
 		"skew the flow mix with a Zipf(s) popularity draw instead of round-robin (0 = round-robin; try 1.2-2)")
 	reload := flag.Bool("reload", false,
 		"hot-swap the recompiled policy on SIGHUP (zero-downtime config generations; implies e2e latency sampling)")
+	flightSpool := flag.String("flight-spool", "",
+		"spool anomaly-triggered incident bundles (event-ring tail, metrics, diagnosis) into this directory")
+	flightInterval := flag.Duration("flight-interval", 30*time.Second,
+		"minimum interval between incident bundles (rate limit; excess triggers are counted, not spooled)")
+	dropSample := flag.Int("drop-sample", 1,
+		"record ~1/N terminal drops as flight-recorder events with flow key and cause (per-cause drop counters stay exact regardless)")
+	panicNF := flag.String("panic-nf", "",
+		"fault injection: 'name@N' panics that NF on its Nth packet (e.g. monitor@5000); the supervisor restarts it clean")
 	flag.Parse()
 
 	if *seed == 0 {
@@ -173,6 +183,20 @@ func run() int {
 		RingSize:        *ringSize,
 		Fusion:          fusionMode,
 		Shards:          *shards,
+		DropSampleRate:  *dropSample,
+	}
+	if *panicNF != "" {
+		name, call, err := parsePanicNF(*panicNF)
+		if err != nil {
+			fail(err)
+		}
+		opts.WrapNF = func(n string, inst nf.NF) nf.NF {
+			if n == name {
+				return faultinject.NewPanicNF(inst, call)
+			}
+			return inst
+		}
+		fmt.Printf("fault injection:   %s panics on packet %d (supervisor restarts it)\n", name, call)
 	}
 	if bpPolicy == dataplane.BPShedLowestPriority {
 		// Rank NFs from the policy's Priority rules so only the
@@ -197,7 +221,8 @@ func run() int {
 		defer func() { fmt.Printf("  pcap:            %d packets -> %s\n", w.Packets(), *pcapPath) }()
 	}
 	var diag *diagnose.Diagnoser
-	if *telemetryAddr != "" || *diagInterval > 0 {
+	var sketch *diagnose.TopK
+	if *telemetryAddr != "" || *diagInterval > 0 || *flightSpool != "" {
 		// The registry outlives the run so /metrics stays truthful after
 		// the traffic stops.
 		opts.Telemetry = telemetry.NewRegistry()
@@ -207,7 +232,7 @@ func run() int {
 		// heavy-hitter sketch, the delivery path records sampled e2e
 		// latency, and a background sampler turns snapshot deltas into
 		// utilization and health verdicts.
-		sketch := diagnose.NewTopK(*topK)
+		sketch = diagnose.NewTopK(*topK)
 		opts.FlowAccount = sketch
 		opts.FlowSampleRate = *flowSample
 		opts.E2ESampleRate = *e2eSample
@@ -226,7 +251,8 @@ func run() int {
 		opts.E2ESampleRate = *e2eSample
 	}
 	var srvRef *dataplane.Server
-	serveHTTP := *telemetryAddr != "" || *diagInterval > 0
+	var snap *flightrec.Snapshotter
+	serveHTTP := *telemetryAddr != "" || *diagInterval > 0 || *flightSpool != ""
 	if serveHTTP || *reload {
 		// The HTTP server binds from the OnServer hook — after the
 		// dataplane starts (so the handler can reach its tracer) but
@@ -246,7 +272,52 @@ func run() int {
 			if !serveHTTP {
 				return
 			}
-			extra := map[string]http.Handler{"/debug/config": configHandler(s)}
+			if *flightSpool != "" {
+				// Incident sources are self-contained closures: the
+				// bundle is a point-in-time dump of everything an operator
+				// would otherwise curl endpoint by endpoint.
+				srcs := []flightrec.Source{
+					{Name: "config", Collect: func() any { return s.ConfigInfo() }},
+					{Name: "criticalpath", Collect: func() any {
+						return telemetry.BuildCriticalPathReport(s.Tracer().Events())
+					}},
+				}
+				if diag != nil {
+					srcs = append(srcs, flightrec.Source{Name: "health",
+						Collect: func() any { return diag.Report() }})
+				}
+				if sketch != nil {
+					srcs = append(srcs, flightrec.Source{Name: "topflows",
+						Collect: func() any { return sketch.Top(sketch.K()) }})
+				}
+				var err error
+				snap, err = flightrec.NewSnapshotter(flightrec.SnapConfig{
+					Dir:         *flightSpool,
+					MinInterval: *flightInterval,
+					Recorder:    s.FlightRecorder(),
+					Registry:    s.Telemetry(),
+					Sources:     srcs,
+					Goroutines:  true,
+					Build:       s.BuildInfo(),
+				})
+				if err != nil {
+					fail(err)
+				}
+				// NF panics and reload failures trigger from inside the
+				// recorder; health worsening triggers via the diagnoser.
+				s.FlightRecorder().SetOnIncident(func(reason string) { snap.Trigger(reason) })
+				fmt.Printf("flight recorder:   incident spool %s (min interval %v)\n", *flightSpool, *flightInterval)
+			}
+			if diag != nil {
+				diag.SetRecorder(s.FlightRecorder())
+				diag.SetOnTransition(func(old, new string, reasons []string) {
+					snap.Trigger("health-" + new)
+				})
+			}
+			extra := map[string]http.Handler{
+				"/debug/config":         configHandler(s),
+				"/debug/flightrecorder": flightrec.Handler(s.FlightRecorder(), s.Telemetry(), snap, s.BuildInfo()),
+			}
 			if diag != nil {
 				for path, h := range diag.Handlers() {
 					extra[path] = h
@@ -258,7 +329,7 @@ func run() int {
 			if err != nil {
 				fail(err)
 			}
-			fmt.Printf("telemetry:         http://%s/metrics (and /debug/telemetry, /debug/spans, /debug/criticalpath, /debug/config, /debug/pprof)\n", bound)
+			fmt.Printf("telemetry:         http://%s/metrics (and /debug/telemetry, /debug/spans, /debug/criticalpath, /debug/config, /debug/flightrecorder, /debug/pprof)\n", bound)
 			if diag != nil {
 				fmt.Printf("diagnosis:         http://%s/debug/health and /debug/topflows\n", bound)
 			}
@@ -296,32 +367,59 @@ func run() int {
 	if diag != nil {
 		diag.Stop()
 	}
+	snap.Stop()
 	return live.PoolLeak
+}
+
+// parsePanicNF parses a -panic-nf 'name@N' spec.
+func parsePanicNF(s string) (string, uint64, error) {
+	name, at, ok := strings.Cut(s, "@")
+	if !ok || name == "" {
+		return "", 0, fmt.Errorf("-panic-nf wants name@N (e.g. monitor@5000), got %q", s)
+	}
+	call, err := strconv.ParseUint(at, 10, 64)
+	if err != nil || call == 0 {
+		return "", 0, fmt.Errorf("-panic-nf %q: packet number must be a positive integer", s)
+	}
+	if _, ok := nfa.LookupProfile(name); !ok {
+		return "", 0, fmt.Errorf("-panic-nf: unknown NF %q", name)
+	}
+	return name, call, nil
 }
 
 // watchSIGHUP arms the zero-downtime reload path: every SIGHUP
 // re-reads and re-compiles the policy and hot-swaps it into the
 // running dataplane as a new config generation. Failures — a policy
 // that no longer parses, a compile error, a server already stopped —
-// are reported on stderr and the current generation keeps forwarding;
-// a reload can never take traffic down.
+// are reported on stderr and recorded as reload_failed flight-recorder
+// events (which trigger an incident snapshot when a spool is armed);
+// the current generation keeps forwarding — a reload can never take
+// traffic down.
 func watchSIGHUP(s *dataplane.Server, policyPath, chain string, noParallel bool) {
 	hup := make(chan os.Signal, 4)
 	signal.Notify(hup, syscall.SIGHUP)
+	reloadFailed := func(err error) {
+		fmt.Fprintf(os.Stderr, "nfpd: reload: %v\n", err)
+		rec := s.FlightRecorder()
+		rec.Event(flightrec.Note{
+			Kind: flightrec.KindReloadFailed, Gen: s.Generation(),
+			Detail: rec.Intern(err.Error()),
+		})
+	}
 	go func() {
 		for range hup {
 			pol, _, err := loadPolicy(policyPath, chain)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "nfpd: reload: %v\n", err)
+				reloadFailed(err)
 				continue
 			}
 			compiled, err := core.Compile(pol, nil, core.Options{NoParallelism: noParallel})
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "nfpd: reload compile: %v\n", err)
+				reloadFailed(err)
 				continue
 			}
 			if err := s.Reload(1, compiled.Graph); err != nil {
-				fmt.Fprintf(os.Stderr, "nfpd: reload: %v\n", err)
+				reloadFailed(err)
 				continue
 			}
 			fmt.Printf("reload:            generation %d live (%s)\n", s.Generation(), compiled.Graph)

@@ -16,6 +16,9 @@
 //	nfpinspect top -chain ids,monitor,lb -zipf 1.5
 //	nfpinspect metrics -addr localhost:9090 -watch 2s
 //	nfpinspect config -addr localhost:9090
+//	nfpinspect incident -addr localhost:9090
+//	nfpinspect incident -spool /var/spool/nfp
+//	nfpinspect incident -chain ids,monitor,lb -panic-at 1000
 package main
 
 import (
@@ -47,6 +50,9 @@ func main() {
 			return
 		case "config":
 			configCmd(os.Args[2:])
+			return
+		case "incident":
+			incidentCmd(os.Args[2:])
 			return
 		}
 	}

@@ -5,6 +5,8 @@ import (
 
 	"nfp/internal/packet"
 	"nfp/internal/ring"
+	"nfp/internal/telemetry"
+	"nfp/internal/telemetry/flightrec"
 )
 
 // BackpressurePolicy selects what a producer does when an NF receive
@@ -88,6 +90,7 @@ func (sh *shard) ringPush(pr *planRuntime, n *nodeRT, pkts []*packet.Packet, cur
 	}
 	if len(rem) > 0 {
 		w := ring.Waiter{SpinLimit: s.cfg.SpinLimit}
+		engaged := false
 		for len(rem) > 0 {
 			if n.canShed && (n.shedImmediate || w.Exhausted()) {
 				sh.shedBurst(pr, n, rem)
@@ -99,6 +102,10 @@ func (sh *shard) ringPush(pr *planRuntime, n *nodeRT, pkts []*packet.Packet, cur
 			// is still parked.
 			if w.Wait() {
 				s.bpParks.Add(1)
+				if !engaged {
+					engaged = true
+					sh.noteBackpressure(pr.nodeNames[n.head().plan.ID], pr.gen)
+				}
 			} else {
 				s.bpYields.Add(1)
 			}
@@ -121,6 +128,15 @@ func (sh *shard) shedBurst(pr *planRuntime, n *nodeRT, pkts []*packet.Packet) {
 	s := sh.srv
 	n.sheds.Add(uint64(len(pkts)))
 	s.sheds.Add(uint64(len(pkts)))
+	cause := flightrec.CauseShedPriority
+	if n.shedImmediate {
+		cause = flightrec.CauseDropTail
+	}
+	s.rec.Event(flightrec.Note{
+		Shard: sh.id, Kind: flightrec.KindShed, Gen: pr.gen,
+		Node: pr.nodeNames[n.head().plan.ID], Count: uint64(len(pkts)),
+	})
+	prov := dropProv{cause: cause, stage: telemetry.StageRingWait, node: int32(n.head().plan.ID)}
 	for _, pkt := range pkts {
 		// A shed packet never reaches the consumer, so reclaim its
 		// stashed span cursor here: the drop route continues the chain
@@ -129,6 +145,6 @@ func (sh *shard) shedBurst(pr *planRuntime, n *nodeRT, pkts []*packet.Packet) {
 		if s.tracer.Sampled(pkt.Meta.PID) {
 			cursor = s.tracer.TakeCursor(pkt.Meta.PID, pkt.Meta.Version, n.head().plan.ID)
 		}
-		sh.deliverDrop(pr, n.head().plan.DropTo, pkt, cursor)
+		sh.deliverDrop(pr, n.head().plan.DropTo, pkt, prov, cursor)
 	}
 }

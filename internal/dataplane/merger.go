@@ -22,6 +22,10 @@ type mergeItem struct {
 	pr      *planRuntime
 	join    int
 	dropped bool
+	// prov is the drop provenance riding with a dropped tail (zero
+	// otherwise); the first dropped tail's provenance wins at the entry
+	// and travels to the terminal accounting point.
+	prov dropProv
 	// cursor is the tail's span-chain position at delivery (end
 	// timestamp of its last span; 0 when the packet is unsampled), the
 	// begin of its merge-wait span.
@@ -54,6 +58,11 @@ type atEntry struct {
 	count    int
 	versions [packet.MaxVersion + 1]*packet.Packet
 	dropped  bool
+	// prov is the provenance of the FIRST dropped tail: parallel
+	// branches can each report a drop for one packet, but the packet
+	// dies exactly once, so one cause must win deterministically
+	// (arrival order at this merger).
+	prov dropProv
 	// firstNS is when the first tail arrived; finalize−firstNS is the
 	// merge latency (how long copies waited in the Accumulating Table).
 	firstNS int64
@@ -148,6 +157,9 @@ func (m *merger) handle(item mergeItem) {
 	e.count++
 	e.versions[item.pkt.Meta.Version] = item.pkt
 	if item.dropped {
+		if !e.dropped {
+			e.prov = item.prov
+		}
 		e.dropped = true
 	}
 	if m.sh.srv.tracer.Sampled(key.pid) {
@@ -208,7 +220,7 @@ func (m *merger) finalize(pr *planRuntime, spec JoinSpec, e *atEntry) {
 			// the drop stay attributed to the packet.
 			base = packet.NewNil(packet.Meta{MID: mid, PID: e.pid, Version: spec.BaseVersion})
 		}
-		m.sh.deliverDrop(pr, spec.DropTo, base, cursor)
+		m.sh.deliverDrop(pr, spec.DropTo, base, e.prov, cursor)
 		return
 	}
 

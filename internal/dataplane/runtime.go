@@ -8,6 +8,7 @@ import (
 	"nfp/internal/packet"
 	"nfp/internal/ring"
 	"nfp/internal/telemetry"
+	"nfp/internal/telemetry/flightrec"
 )
 
 // instBox wraps the live NF instance so the supervisor can swap in a
@@ -135,7 +136,7 @@ func (n *nodeRT) run() {
 			// route, charged to the head NF.
 			h := n.head()
 			h.pktsIn.Add(uint64(cnt))
-			n.dropBurst(h, n.burst[:cnt], h.unhealthyDry, telemetry.StageRingWait, 0)
+			n.dropBurst(h, n.burst[:cnt], h.unhealthyDry, drainCause(n.pr), telemetry.StageRingWait, 0)
 			continue
 		}
 		n.processBurst(n.burst[:cnt])
@@ -163,6 +164,10 @@ func (n *nodeRT) onPanic(s *segNF, cause any) {
 	_ = cause // the panic value is intentionally not propagated; counters tell the story
 	s.panics.Inc()
 	s.panicked.Store(true)
+	n.server.rec.Event(flightrec.Note{
+		Shard: n.sh.id, Kind: flightrec.KindPanic, Gen: n.pr.gen,
+		Node: n.pr.nodeNames[s.plan.ID],
+	})
 	backoff := n.backoffNS.Load()
 	if backoff == 0 {
 		backoff = int64(n.server.cfg.RestartBackoff)
@@ -181,13 +186,15 @@ func (n *nodeRT) onPanic(s *segNF, cause any) {
 // dropBurst routes every packet of a burst through NF slot s's drop
 // target, charging cause (panic or unhealthy-drain) and s's drop
 // counter so per-NF conservation (in == out + drops) still holds.
+// dcause is the taxonomy cause the terminal accounting point will
+// charge (panic, unhealthy_drain or reload_drain).
 //
 // Sampled packets get a closing span so conservation also holds for
 // traces: stage says how far they got (ring-wait for unhealthy drains
 // whose cursor is still stashed — cursor 0 — or nf for a panicked
 // burst, whose preceding spans were already recorded against cursor,
 // the last amortized boundary timestamp).
-func (n *nodeRT) dropBurst(s *segNF, pkts []*packet.Packet, cause *telemetry.Counter, stage telemetry.Stage, cursor int64) {
+func (n *nodeRT) dropBurst(s *segNF, pkts []*packet.Packet, cause *telemetry.Counter, dcause flightrec.Cause, stage telemetry.Stage, cursor int64) {
 	cause.Add(uint64(len(pkts)))
 	s.drops.Add(uint64(len(pkts)))
 	tracer := n.server.tracer
@@ -208,7 +215,8 @@ func (n *nodeRT) dropBurst(s *segNF, pkts []*packet.Packet, cause *telemetry.Cou
 			})
 			c = now
 		}
-		n.sh.deliverDrop(n.pr, s.plan.DropTo, pkt, c)
+		n.sh.deliverDrop(n.pr, s.plan.DropTo, pkt,
+			dropProv{cause: dcause, stage: stage, node: int32(s.plan.ID)}, c)
 	}
 }
 
@@ -230,11 +238,19 @@ func (n *nodeRT) maybeRestart(now int64) {
 		inst, err := n.server.cfg.Registry.New(s.plan.NF.Name)
 		if err != nil {
 			s.restartFails.Inc()
+			n.server.rec.Event(flightrec.Note{
+				Shard: n.sh.id, Kind: flightrec.KindRestartFail, Gen: n.pr.gen,
+				Node: n.pr.nodeNames[s.plan.ID],
+			})
 			n.restartAt.Store(now + n.backoffNS.Load())
 			return
 		}
 		s.instP.Store(&instBox{nf: inst})
 		s.restarts.Inc()
+		n.server.rec.Event(flightrec.Note{
+			Shard: n.sh.id, Kind: flightrec.KindRestart, Gen: n.pr.gen,
+			Node: n.pr.nodeNames[s.plan.ID],
+		})
 		s.panicked.Store(false)
 		s.healthyG.Set(1)
 	}
@@ -310,7 +326,7 @@ func (n *nodeRT) processBurst(pkts []*packet.Packet) {
 			// packet writes) are void. The burst is the failure unit —
 			// all its live packets take this NF's drop route back to the
 			// pool.
-			n.dropBurst(s, pkts, s.panicDrops, telemetry.StageNF, cursor)
+			n.dropBurst(s, pkts, s.panicDrops, flightrec.CausePanic, telemetry.StageNF, cursor)
 			return
 		}
 		// One amortized boundary timestamp per NF: the histogram sample
@@ -336,7 +352,8 @@ func (n *nodeRT) processBurst(pkts []*packet.Packet) {
 				// the dropping intention (the packet reference rides along
 				// so the merger can release the buffer once all tails
 				// report).
-				n.sh.deliverDrop(n.pr, s.plan.DropTo, pkt, cursor)
+				n.sh.deliverDrop(n.pr, s.plan.DropTo, pkt,
+					dropProv{cause: flightrec.CauseNFVerdict, stage: telemetry.StageNF, node: int32(s.plan.ID)}, cursor)
 				continue
 			}
 			pkts[kept] = pkt

@@ -15,6 +15,7 @@ import (
 	"nfp/internal/packet"
 	"nfp/internal/ring"
 	"nfp/internal/telemetry"
+	"nfp/internal/telemetry/flightrec"
 )
 
 // DefaultBurst is the default dataplane burst size — DPDK's canonical
@@ -146,6 +147,23 @@ type Config struct {
 	// equivalent (see internal/equivalence); fusion only removes ring
 	// hops the graph structure proves redundant.
 	Fusion FusionMode
+	// FlightRecorder supplies an externally built flight recorder
+	// (must have at least Shards rings). Nil creates a private one —
+	// the recorder is always on unless DisableFlightRecorder opts out.
+	FlightRecorder *flightrec.Recorder
+	// EventRing sizes each shard's flight-recorder event ring
+	// (rounded up to a power of two; default 1024).
+	EventRing int
+	// DropSampleRate records roughly one in DropSampleRate terminal
+	// drops as a per-drop flight-recorder event (flow key, cause,
+	// node, stage, cursor), PID-mask selected (default 1 = every
+	// drop). The per-cause drop counters stay exact regardless.
+	DropSampleRate int
+	// DisableFlightRecorder turns the event ring off entirely —
+	// ablation benchmarks measuring recorder overhead only. Drop
+	// provenance counters (nfp_drops_total{cause}) remain exact even
+	// with the recorder off.
+	DisableFlightRecorder bool
 }
 
 func (c *Config) setDefaults() {
@@ -206,6 +224,9 @@ func (c *Config) setDefaults() {
 	if c.FlowSampleRate == 0 {
 		c.FlowSampleRate = 64
 	}
+	if c.DropSampleRate < 1 {
+		c.DropSampleRate = 1
+	}
 }
 
 // pidMask converts a 1-in-rate sampling rate to a PID mask (rate
@@ -238,6 +259,12 @@ type planRuntime struct {
 	// e2eLat records sampled ingress→output latency for this graph
 	// (nil unless Config.E2ESampleRate enabled it).
 	e2eLat *telemetry.Histogram
+	// dropCtrs lazily caches the terminal per-cause drop counters,
+	// indexed node*NumCauses+cause (see shard.dropCounter).
+	dropCtrs []dropCtrSlot
+	// nodeNames holds each plan node's NF name interned in the flight
+	// recorder, so per-drop events carry an integer, not a string.
+	nodeNames []uint32
 
 	// gen is the config generation that installed this runtime (1 for
 	// the initial install; each Reload bumps the server generation).
@@ -324,6 +351,14 @@ type Server struct {
 	e2eOn   bool
 	e2eMask uint64
 
+	// rec is the always-on flight recorder (nil only under
+	// Config.DisableFlightRecorder; every call site is nil-safe).
+	// recIngressID/recPoolID are the interned site names backpressure
+	// events outside any plan node charge against.
+	rec          *flightrec.Recorder
+	recIngressID uint32
+	recPoolID    uint32
+
 	// Config-generation state. generation is the live config
 	// generation (1 after New; each successful Reload bumps it), also
 	// published on the nfp_config_generation gauge. history records one
@@ -366,6 +401,29 @@ func New(cfg Config) *Server {
 	s.genG = s.tel.Gauge("nfp_config_generation")
 	s.genG.Set(1)
 	s.reloadsC = s.tel.Counter("nfp_reloads_total")
+	if !cfg.DisableFlightRecorder {
+		s.rec = cfg.FlightRecorder
+		if s.rec == nil {
+			s.rec = flightrec.NewRecorder(flightrec.Config{
+				Shards:         cfg.Shards,
+				RingSize:       cfg.EventRing,
+				DropSampleRate: cfg.DropSampleRate,
+				StageNames:     func(b uint8) string { return telemetry.Stage(b).String() },
+			})
+		}
+		s.recIngressID = s.rec.Intern("ingress")
+		s.recPoolID = s.rec.Intern("mempool")
+	}
+	// Self-description for scrapes and incident bundles: one constant
+	// gauge whose labels carry the build and topology facts.
+	bi := s.BuildInfo()
+	s.tel.Gauge("nfp_build_info",
+		telemetry.L("version", bi["version"]),
+		telemetry.L("go_version", bi["go_version"]),
+		telemetry.L("shards", bi["shards"]),
+		telemetry.L("burst", bi["burst"]),
+		telemetry.L("fusion", bi["fusion"]),
+	).Set(1)
 	s.classifier.bindTelemetry(s.tel)
 	if cfg.FlowAccount != nil {
 		s.classifier.bindFlowObserver(cfg.FlowAccount, pidMask(cfg.FlowSampleRate))
@@ -406,6 +464,16 @@ func New(cfg Config) *Server {
 			sh.pool = s.pool
 			sh.out = s.out
 		}
+		// The cause=unroutable provenance series is registered eagerly
+		// (even when it stays zero) so the conservation ledger always
+		// reconciles it against nfp_ingress_unroutable_total.
+		// labelShard can't be used here: the shard slice is still being
+		// built, so sharded() would read false for shard 0.
+		unroutableLabels := []telemetry.Label{telemetry.L("cause", flightrec.CauseUnroutable.String())}
+		if sharded {
+			unroutableLabels = append(unroutableLabels, telemetry.L("shard", strconv.Itoa(i)))
+		}
+		sh.unroutableC = s.tel.Counter(flightrec.MetricDrops, unroutableLabels...)
 		sh.plans.Store(&map[uint32]*planRuntime{})
 		for m := 0; m < cfg.Mergers; m++ {
 			sh.mergers = append(sh.mergers, newMerger(m, cfg.MergerQueue, sh))
@@ -546,6 +614,7 @@ func (s *Server) AddGraphProvide(mid uint32, g graph.Node, provide func(shard in
 		Hash:        plan.CompileHash(),
 		InstalledNS: time.Now().UnixNano(),
 	})
+	s.note(flightrec.KindInstall, gen, 0, uint64(mid))
 	return nil
 }
 
@@ -568,6 +637,11 @@ func (s *Server) buildRuntime(sh *shard, plan *Plan, provide func(int, graph.NF)
 	pr := &planRuntime{plan: plan, owner: make([]*nodeRT, len(plan.Nodes)), gen: gen}
 	if gen > 1 {
 		pr.spanGen = int(gen)
+	}
+	pr.dropCtrs = make([]dropCtrSlot, len(plan.Nodes)*flightrec.NumCauses)
+	pr.nodeNames = make([]uint32, len(plan.Nodes))
+	for i := range plan.Nodes {
+		pr.nodeNames[i] = s.rec.Intern(plan.Nodes[i].NF.String())
 	}
 	shedSet := plan.ShedSet(s.cfg.NodePriority)
 	// Segment layout: the shed-lowest-priority policy sheds into
@@ -747,6 +821,7 @@ func (s *Server) ReloadProvide(mid uint32, g graph.Node, provide func(shard int,
 	s.plansMu.Unlock()
 	s.genG.Set(int64(nextGen))
 	s.reloadsC.Inc()
+	s.note(flightrec.KindReloadSwap, nextGen, 0, 0)
 	swapNS := time.Now().UnixNano()
 
 	// Seal the old generation: acquire's increment-then-check handshake
@@ -794,6 +869,7 @@ func (s *Server) ReloadProvide(mid uint32, g graph.Node, provide func(shard int,
 	oldGen := old[0].gen
 	s.tel.Counter("nfp_reload_drained_total",
 		telemetry.L("gen", strconv.FormatUint(oldGen, 10))).Add(drained)
+	s.note(flightrec.KindReloadDrained, oldGen, 0, drained)
 	s.recordGeneration(GenerationInfo{
 		Generation:  nextGen,
 		MID:         mid,
@@ -1004,6 +1080,7 @@ func (s *Server) Stop() {
 	for s.injected.Value() > s.outCount.Value()+s.drops.Value() {
 		w.Wait()
 	}
+	s.note(flightrec.KindStop, s.generation.Load(), 0, 0)
 	s.stopped.Store(true)
 	for _, sh := range s.shards {
 		for _, m := range sh.mergers {

@@ -10,6 +10,7 @@ import (
 	"nfp/internal/packet"
 	"nfp/internal/ring"
 	"nfp/internal/telemetry"
+	"nfp/internal/telemetry/flightrec"
 )
 
 // shard is one replica of the whole dataplane (RSS-style flow
@@ -52,6 +53,12 @@ type shard struct {
 	// Sharded-mode ingress telemetry, labelled shard=<id>.
 	ingress *telemetry.Counter
 	inHW    *telemetry.Gauge
+
+	// unroutableC is this shard's nfp_drops_total{cause=unroutable}
+	// series, registered eagerly at construction so the conservation
+	// ledger can reconcile it against nfp_ingress_unroutable_total even
+	// before the first unroutable packet.
+	unroutableC *telemetry.Counter
 }
 
 // labelShard appends the shard label to a label set when the server is
@@ -131,7 +138,18 @@ func (sh *shard) classifyBurst(pkts []*packet.Packet) {
 	}
 	if m < len(pkts) {
 		s.unroutable.Add(uint64(len(pkts) - m))
+		sh.unroutableC.Add(uint64(len(pkts) - m))
 		for _, p := range pkts[m:] {
+			if s.rec.SampleDrop(p.Meta.PID) {
+				d := flightrec.DropRecord{
+					Shard: sh.id, Cause: flightrec.CauseUnroutable,
+					Stage: uint8(telemetry.StageClassify), PID: p.Meta.PID,
+				}
+				if k, err := flow.FromPacket(p); err == nil {
+					d.Flow, d.HasKey = k, true
+				}
+				s.rec.Drop(d)
+			}
 			p.Free()
 		}
 	}
@@ -166,9 +184,14 @@ func (sh *shard) ingressPush(pkts []*packet.Packet) {
 	}
 	if len(rem) > 0 {
 		w := ring.Waiter{SpinLimit: s.cfg.SpinLimit}
+		engaged := false
 		for len(rem) > 0 {
 			if w.Wait() {
 				s.bpParks.Add(1)
+				if !engaged {
+					engaged = true
+					sh.noteBackpressure(s.recIngressID, 0)
+				}
 			} else {
 				s.bpYields.Add(1)
 			}
@@ -273,7 +296,7 @@ func (sh *shard) exec(pr *planRuntime, ds []Dispatch, pkt *packet.Packet, cursor
 			out = cp
 		}
 		for _, t := range d.Targets {
-			sh.deliver(pr, t, out, false, curs[out.Meta.Version])
+			sh.deliver(pr, t, out, false, dropProv{}, curs[out.Meta.Version])
 		}
 	}
 }
@@ -310,9 +333,14 @@ func (sh *shard) allocCopy() *packet.Packet {
 	}
 	s := sh.srv
 	w := ring.Waiter{SpinLimit: s.cfg.SpinLimit}
+	engaged := false
 	for {
 		if w.Wait() {
 			s.bpParks.Add(1)
+			if !engaged {
+				engaged = true
+				sh.noteBackpressure(s.recPoolID, 0)
+			}
 		} else {
 			s.bpYields.Add(1)
 		}
@@ -326,8 +354,12 @@ func (sh *shard) allocCopy() *packet.Packet {
 // cursor (end timestamp of the packet's previous span, 0 unsampled)
 // into the next stage: ring deliveries stash it for the consumer, join
 // deliveries ride it on the merge item, and output closes the chain
-// with the terminal span.
-func (sh *shard) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped bool, cursor int64) {
+// with the terminal span. prov is the drop provenance (meaningful only
+// when dropped): the ToOutput arm is the single terminal accounting
+// point, so attributing the cause here — after mergers collapse
+// parallel copies to one verdict — keeps the per-cause counters
+// summing exactly to total drops.
+func (sh *shard) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped bool, prov dropProv, cursor int64) {
 	s := sh.srv
 	switch t.Kind {
 	case ToNode:
@@ -343,7 +375,7 @@ func (sh *shard) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped 
 		// interleave at one merger, and each must finalize against its
 		// own plan tables.
 		m := sh.mergers[flow.HashPID(pkt.Meta.PID)%uint64(len(sh.mergers))]
-		m.in <- mergeItem{pkt: pkt, pr: pr, join: t.Join, dropped: dropped, cursor: cursor}
+		m.in <- mergeItem{pkt: pkt, pr: pr, join: t.Join, dropped: dropped, prov: prov, cursor: cursor}
 	case ToOutput:
 		if s.tracer.Sampled(pkt.Meta.PID) {
 			st := telemetry.StageOutput
@@ -364,6 +396,10 @@ func (sh *shard) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped 
 		// fully surfaced, not merely been handed off.
 		if dropped {
 			s.drops.Add(1)
+			sh.dropCounter(pr, prov).Inc()
+			if s.rec.SampleDrop(pkt.Meta.PID) {
+				sh.recordDrop(s.rec, pr, prov, pkt, cursor)
+			}
 			pkt.Free()
 			pr.terminal.Add(1)
 			pr.inflight.Add(-1)
@@ -380,8 +416,9 @@ func (sh *shard) deliver(pr *planRuntime, t Target, pkt *packet.Packet, dropped 
 }
 
 // deliverDrop routes a drop intention (with the packet reference so
-// buffers can be reclaimed) to the nearest join or the output.
-func (sh *shard) deliverDrop(pr *planRuntime, t Target, pkt *packet.Packet, cursor int64) {
-	sh.deliver(pr, t, pkt, true, cursor)
+// buffers can be reclaimed, and its provenance so the terminal
+// accounting point can attribute the cause) to the nearest join or the
+// output.
+func (sh *shard) deliverDrop(pr *planRuntime, t Target, pkt *packet.Packet, prov dropProv, cursor int64) {
+	sh.deliver(pr, t, pkt, true, prov, cursor)
 }
-

@@ -212,4 +212,3 @@ func TestShardIsolationStall(t *testing.T) {
 		t.Fatalf("pool leak: %d buffers", leak)
 	}
 }
-

@@ -349,6 +349,9 @@ func (t *Trial) ExecuteOpts(g graph.Node, n int, trafficSeed int64, opts ExecOpt
 	srv.Stop()
 	<-done
 	st := srv.Stats()
+	if err := auditConservation(srv, st); err != nil {
+		return nil, st, err
+	}
 	res.Drops = st.Drops
 	res.Copies = st.Copies
 	for name, s := range syns {
@@ -449,6 +452,9 @@ func (t *Trial) ExecuteOverload(g graph.Node, n int, trafficSeed int64, spec Ove
 	srv.Stop()
 	<-done
 	st := srv.Stats()
+	if err := auditConservation(srv, st); err != nil {
+		return nil, st, err
+	}
 	res.Drops = st.Drops
 	res.Copies = st.Copies
 	for name, s := range syns {

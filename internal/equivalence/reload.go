@@ -159,6 +159,9 @@ func (t *Trial) ExecuteReload(g graph.Node, n int, trafficSeed int64, opts ExecR
 	srv.Stop()
 	<-done
 	st := srv.Stats()
+	if err := auditConservation(srv, st); err != nil {
+		return nil, err
+	}
 	res.Drops = st.Drops
 	res.Copies = st.Copies
 	if st.Unroutable != 0 {

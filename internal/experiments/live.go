@@ -104,6 +104,16 @@ type LiveOptions struct {
 	// classic single-shard layout). The pool budget scales with the
 	// shard count so each partition keeps the single-shard headroom.
 	Shards int
+	// DropSampleRate tunes the flight recorder's per-drop event
+	// sampling (see dataplane.Config.DropSampleRate; 0 keeps the
+	// default of recording every drop).
+	DropSampleRate int
+	// WrapNF, if non-nil, wraps every NF instance at install time —
+	// nfpd's -panic-nf fault injection hooks in here. The wrapper
+	// applies only to the initial instances: supervisor restarts build
+	// fresh unwrapped instances from the registry, so an injected
+	// crash heals exactly like a real one.
+	WrapNF func(name string, inst nf.NF) nf.NF
 }
 
 // LiveRegistry, when non-nil, supplies NF factories to the live runs
@@ -154,9 +164,26 @@ func RunLiveGraphOpts(g graph.Node, n int, gen *trafficgen.Generator, opts LiveO
 		FlowAccount:     opts.FlowAccount,
 		FlowSampleRate:  opts.FlowSampleRate,
 		E2ESampleRate:   opts.E2ESampleRate,
+		DropSampleRate:  opts.DropSampleRate,
 	})
-	if err := srv.AddGraph(1, g); err != nil {
-		return LiveResult{}, err
+	var addErr error
+	if opts.WrapNF != nil {
+		reg := LiveRegistry
+		if reg == nil {
+			reg = nf.NewRegistry()
+		}
+		addErr = srv.AddGraphProvide(1, g, func(shard int, node graph.NF) nf.NF {
+			inst, err := reg.New(node.Name)
+			if err != nil {
+				return nil // buildRuntime falls back to the server registry
+			}
+			return opts.WrapNF(node.Name, inst)
+		})
+	} else {
+		addErr = srv.AddGraph(1, g)
+	}
+	if addErr != nil {
+		return LiveResult{}, addErr
 	}
 	if err := srv.Start(); err != nil {
 		return LiveResult{}, err

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"nfp/internal/telemetry"
+	"nfp/internal/telemetry/flightrec"
 )
 
 // Metric families the sampler reads. They match the names the
@@ -64,6 +65,16 @@ type Config struct {
 	// the health state machine (defaults 0.8 and 0.95).
 	RhoDegraded   float64
 	RhoOverloaded float64
+	// Recorder, when set, receives one health event per state
+	// transition on the flight recorder's event ring (see also
+	// SetRecorder — nfpd builds the diagnoser before the server that
+	// owns the recorder).
+	Recorder *flightrec.Recorder
+	// OnTransition fires — off the hot path, on the sampler goroutine —
+	// when the health state WORSENS to degraded or overloaded: the
+	// incident-snapshot trigger hook. Recoveries and first verdicts are
+	// recorded on the event ring but do not fire it.
+	OnTransition func(old, new string, reasons []string)
 }
 
 // sample is one point of the time series: the summary snapshot plus
@@ -79,12 +90,13 @@ type sample struct {
 type Diagnoser struct {
 	cfg Config
 
-	mu      sync.Mutex
-	ring    []sample
-	head    int // next write position
-	n       int // filled entries
-	stopped chan struct{}
-	done    chan struct{}
+	mu        sync.Mutex
+	ring      []sample
+	head      int // next write position
+	n         int // filled entries
+	prevState string
+	stopped   chan struct{}
+	done      chan struct{}
 }
 
 // New creates a Diagnoser over cfg.Registry. Call Start for background
@@ -103,6 +115,17 @@ func New(cfg Config) *Diagnoser {
 		cfg.RhoOverloaded = 0.95
 	}
 	return &Diagnoser{cfg: cfg, ring: make([]sample, cfg.Window)}
+}
+
+// SetRecorder wires the flight recorder after construction — nfpd
+// builds the diagnoser (the server's FlowObserver) before the server
+// that owns the recorder exists. Call before Start.
+func (d *Diagnoser) SetRecorder(rec *flightrec.Recorder) { d.cfg.Recorder = rec }
+
+// SetOnTransition wires the worsening-transition hook after
+// construction (see Config.OnTransition). Call before Start.
+func (d *Diagnoser) SetOnTransition(fn func(old, new string, reasons []string)) {
+	d.cfg.OnTransition = fn
 }
 
 // Start launches the background sampling loop. Stop once per Start.
@@ -166,7 +189,35 @@ func (d *Diagnoser) sampleAt(ts time.Time) {
 		d.n++
 	}
 	d.mu.Unlock()
-	d.exportGauges(d.Report())
+	rep := d.Report()
+	d.exportGauges(rep)
+	d.noteTransition(rep)
+}
+
+// noteTransition compares the fresh verdict against the previous one:
+// every change lands as a health event on the flight recorder's ring,
+// and a worsening to degraded/overloaded fires the OnTransition hook
+// (the incident-snapshot trigger). The first verdict seeds the state
+// without an event — a booting server is not an incident.
+func (d *Diagnoser) noteTransition(rep HealthReport) {
+	d.mu.Lock()
+	old := d.prevState
+	d.prevState = rep.State
+	d.mu.Unlock()
+	if old == "" || old == rep.State {
+		return
+	}
+	if rec := d.cfg.Recorder; rec != nil {
+		rec.Event(flightrec.Note{
+			Kind:   flightrec.KindHealth,
+			Detail: rec.Intern(old + "->" + rep.State),
+		})
+	}
+	worse := rep.State == StateOverloaded ||
+		rep.State == StateDegraded && old != StateOverloaded
+	if worse && d.cfg.OnTransition != nil {
+		d.cfg.OnTransition(old, rep.State, rep.Reasons)
+	}
 }
 
 // window returns the oldest and newest retained samples. ok is false

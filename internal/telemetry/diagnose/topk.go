@@ -46,11 +46,11 @@ type ssEntry struct {
 // ssHeap is a min-heap of entries by packet count.
 type ssHeap []*ssEntry
 
-func (h ssHeap) Len() int            { return len(h) }
-func (h ssHeap) Less(i, j int) bool  { return h[i].pkts < h[j].pkts }
-func (h ssHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
-func (h *ssHeap) Push(x any)         { e := x.(*ssEntry); e.idx = len(*h); *h = append(*h, e) }
-func (h *ssHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h ssHeap) Len() int           { return len(h) }
+func (h ssHeap) Less(i, j int) bool { return h[i].pkts < h[j].pkts }
+func (h ssHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *ssHeap) Push(x any)        { e := x.(*ssEntry); e.idx = len(*h); *h = append(*h, e) }
+func (h *ssHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // NewTopK creates a sketch tracking up to k flows (k < 1 is raised
 // to 1).
@@ -120,9 +120,9 @@ type FlowCount struct {
 
 // TopFlowsReport is the /debug/topflows document.
 type TopFlowsReport struct {
-	K          int         `json:"k"`
-	TotalPkts  uint64      `json:"total_pkts"`
-	TotalBytes uint64      `json:"total_bytes"`
+	K          int    `json:"k"`
+	TotalPkts  uint64 `json:"total_pkts"`
+	TotalBytes uint64 `json:"total_bytes"`
 	// ErrorBound is the sketch-wide worst-case overcount N/k.
 	ErrorBound uint64      `json:"error_bound_pkts"`
 	Flows      []FlowCount `json:"flows"`
@@ -156,15 +156,15 @@ func (t *TopK) Top(n int) TopFlowsReport {
 	}
 	for _, e := range all {
 		rep.Flows = append(rep.Flows, FlowCount{
-			Src:       srcString(e.key),
-			Dst:       dstString(e.key),
-			Proto:     e.key.Proto,
-			Pkts:      e.pkts,
-			Bytes:     e.bytes,
-			OverPkts:  e.overPkts,
-			OverBytes: e.overBytes,
+			Src:        srcString(e.key),
+			Dst:        dstString(e.key),
+			Proto:      e.key.Proto,
+			Pkts:       e.pkts,
+			Bytes:      e.bytes,
+			OverPkts:   e.overPkts,
+			OverBytes:  e.overBytes,
 			Guaranteed: e.pkts-e.overPkts > rep.ErrorBound,
-			Key:       e.key,
+			Key:        e.key,
 		})
 	}
 	return rep

@@ -1,0 +1,90 @@
+package flightrec
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"nfp/internal/telemetry"
+)
+
+// Status is the live /debug/flightrecorder report: drop ledger, the
+// event-ring tail, and the incident spool index.
+type Status struct {
+	SpoolDir   string            `json:"spool_dir,omitempty"`
+	Written    uint64            `json:"bundles_written"`
+	Suppressed uint64            `json:"bundles_suppressed"`
+	Ledger     Ledger            `json:"ledger"`
+	LedgerOK   bool              `json:"ledger_ok"`
+	LedgerErr  string            `json:"ledger_error,omitempty"`
+	Events     []Event           `json:"events"`
+	Incidents  []SpoolEntry      `json:"incidents"`
+	Build      map[string]string `json:"build,omitempty"`
+}
+
+// Handler serves the flight recorder at one endpoint:
+//
+//	GET /debug/flightrecorder           — Status JSON
+//	GET /debug/flightrecorder?n=128     — cap the event tail
+//	GET /debug/flightrecorder?incident=F — serve spooled bundle F
+//
+// Any of rec, reg, sn may be nil; the report simply omits those
+// sections.
+func Handler(rec *Recorder, reg *telemetry.Registry, sn *Snapshotter, build map[string]string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f := r.URL.Query().Get("incident"); f != "" {
+			serveIncident(w, sn.Dir(), f)
+			return
+		}
+		n := 64
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v >= 0 {
+				n = v
+			}
+		}
+		st := Status{
+			SpoolDir: sn.Dir(),
+			Events:   rec.Events(n),
+			Build:    build,
+		}
+		st.Written, st.Suppressed = sn.Stats()
+		if reg != nil {
+			st.Ledger = ReadLedger(reg.Snapshot())
+			if err := st.Ledger.Verify(); err != nil {
+				st.LedgerErr = err.Error()
+			} else {
+				st.LedgerOK = true
+			}
+		}
+		if dir := sn.Dir(); dir != "" {
+			st.Incidents, _ = ListSpool(dir)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(st)
+	})
+}
+
+// serveIncident streams one spooled bundle. The name is restricted to
+// a bare incident-*.json basename so the spool dir can't be escaped.
+func serveIncident(w http.ResponseWriter, dir, name string) {
+	if dir == "" {
+		http.Error(w, "no incident spool configured", http.StatusNotFound)
+		return
+	}
+	if name != filepath.Base(name) || filepath.Ext(name) != ".json" ||
+		len(name) < len("incident-") || name[:len("incident-")] != "incident-" {
+		http.Error(w, "invalid incident name", http.StatusBadRequest)
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		http.Error(w, "incident not found", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}

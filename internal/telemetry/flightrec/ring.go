@@ -1,0 +1,97 @@
+package flightrec
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// eventWords is the fixed payload size of one packed event. With the
+// sequence word a slot is exactly 64 bytes — one cache line.
+const eventWords = 7
+
+type rawEvent [eventWords]uint64
+
+// slot is one ring entry protected by a per-slot seqlock. Every word
+// is atomic, so concurrent writers and snapshot readers are race-free
+// by construction (no torn reads are possible, and stale slots are
+// detected and discarded by the sequence check).
+type slot struct {
+	// seq encodes the slot's lap state: 2t   = ticket t may write,
+	// 2t+1 = ticket t mid-write, 2(t+N) = ticket t published (and
+	// ticket t+N may overwrite). Initialized to 2i for slot i.
+	seq atomic.Uint64
+	w   [eventWords]atomic.Uint64
+}
+
+// ring is a fixed-size multi-producer event ring. Writers claim a
+// global ticket, spin (effectively never — a collision needs a full
+// lap of concurrent writers) for their slot, and publish via the
+// slot's sequence word. Readers snapshot without blocking writers.
+type ring struct {
+	mask  uint64
+	head  atomic.Uint64
+	slots []slot
+}
+
+func newRing(size int) *ring {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	r := &ring{mask: uint64(n - 1), slots: make([]slot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i) << 1)
+	}
+	return r
+}
+
+// record appends one event, overwriting the oldest once full. Lock-
+// free and allocation-free: one atomic ticket, eventWords+2 atomic
+// stores.
+func (r *ring) record(e rawEvent) {
+	t := r.head.Add(1) - 1
+	s := &r.slots[t&r.mask]
+	// Serialize full-lap collisions: ticket t may write only after
+	// ticket t-N published (seq == 2t).
+	for s.seq.Load() != t<<1 {
+		runtime.Gosched()
+	}
+	s.seq.Store(t<<1 | 1)
+	for i := range e {
+		s.w[i].Store(e[i])
+	}
+	s.seq.Store((t + uint64(len(r.slots))) << 1)
+}
+
+// snapshot copies up to max of the newest fully-published events in
+// ticket order (oldest first). Events overwritten mid-copy are
+// detected via the sequence word and skipped. max <= 0 means the
+// whole retained window.
+func (r *ring) snapshot(max int) []rawEvent {
+	h := r.head.Load()
+	n := uint64(len(r.slots))
+	lo := uint64(0)
+	if h > n {
+		lo = h - n
+	}
+	if max > 0 && h-lo > uint64(max) {
+		lo = h - uint64(max)
+	}
+	out := make([]rawEvent, 0, h-lo)
+	for t := lo; t < h; t++ {
+		s := &r.slots[t&r.mask]
+		want := (t + n) << 1
+		if s.seq.Load() != want {
+			continue // still being written, or already overwritten
+		}
+		var e rawEvent
+		for i := range e {
+			e[i] = s.w[i].Load()
+		}
+		if s.seq.Load() != want {
+			continue // overwritten while copying
+		}
+		out = append(out, e)
+	}
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"net/http/pprof"
 	"sort"
 	"strings"
+	"time"
 )
 
 // promName sanitizes a metric name for the Prometheus text format.
@@ -103,10 +104,12 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 }
 
 // Dump is the /debug/telemetry JSON document: the full metric snapshot
-// plus the retained trace events.
+// plus the retained trace events, stamped with the serving process's
+// uptime so incident bundles and scrapes are self-describing.
 type Dump struct {
-	Metrics Snapshot     `json:"metrics"`
-	Traces  []TraceEvent `json:"traces,omitempty"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Metrics       Snapshot     `json:"metrics"`
+	Traces        []TraceEvent `json:"traces,omitempty"`
 }
 
 // SpansDump is the /debug/spans JSON document: per-packet span groups
@@ -135,6 +138,7 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 // future control surfaces) use to join the same introspection server.
 // Extra patterns must not collide with the built-in ones.
 func HandlerWith(reg *Registry, tr *Tracer, extra map[string]http.Handler) http.Handler {
+	start := time.Now()
 	mux := http.NewServeMux()
 	for pattern, h := range extra {
 		mux.Handle(pattern, h)
@@ -147,7 +151,11 @@ func HandlerWith(reg *Registry, tr *Tracer, extra map[string]http.Handler) http.
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(Dump{Metrics: reg.Snapshot(), Traces: tr.Events()})
+		_ = enc.Encode(Dump{
+			UptimeSeconds: time.Since(start).Seconds(),
+			Metrics:       reg.Snapshot(),
+			Traces:        tr.Events(),
+		})
 	})
 	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

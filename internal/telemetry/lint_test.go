@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func findingWith(findings []string, substr string) bool {
+	for _, f := range findings {
+		if strings.Contains(f, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLintNamesViolations: one finding per convention breach.
+func TestLintNamesViolations(t *testing.T) {
+	s := Snapshot{
+		Counters: []CounterSnap{
+			{Name: "drops_total"},        // missing nfp_ prefix
+			{Name: "nfp_drops"},          // counter without _total
+			{Name: "nfp_Bad_Case_total"}, // uppercase
+			{Name: "nfp_ok_total", Labels: map[string]string{"BadKey": "x"}}, // bad label key
+			{Name: "nfp_dup_total", Labels: map[string]string{"a": "1"}},
+			{Name: "nfp_dup_total", Labels: map[string]string{"a": "1"}}, // duplicate series
+		},
+		Gauges: []GaugeSnap{
+			{Name: "nfp_uptime_total"}, // gauge must not end in _total
+		},
+		Histograms: []HistogramSnap{
+			{Name: "nfp_latency_ns_total"}, // histogram must not end in _total
+		},
+	}
+	findings := LintNames(s)
+	for _, want := range []string{
+		"drops_total: name must match",
+		"nfp_drops: counter names must end in _total",
+		"nfp_Bad_Case_total: name must match",
+		`label key "BadKey"`,
+		"duplicate series",
+		"gauge nfp_uptime_total: only counters may end in _total",
+		"histogram nfp_latency_ns_total: only counters may end in _total",
+	} {
+		if !findingWith(findings, want) {
+			t.Errorf("missing finding %q in %v", want, findings)
+		}
+	}
+	if len(findings) != 7 {
+		t.Fatalf("got %d findings, want 7: %v", len(findings), findings)
+	}
+}
+
+// TestLintNamesClean: a real registry following the conventions lints
+// clean, and same-name different-label series are not duplicates.
+func TestLintNamesClean(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("nfp_drops_total").Add(1)
+	r.Counter("nfp_drops_total", L("cause", "panic")).Add(1)
+	r.Counter("nfp_drops_total", L("cause", "nf_verdict")).Add(1)
+	r.Gauge("nfp_health_state").Set(1)
+	r.Histogram("nfp_e2e_latency_ns").Record(5)
+	if findings := LintNames(r.Snapshot()); len(findings) != 0 {
+		t.Fatalf("clean registry produced findings: %v", findings)
+	}
+}
