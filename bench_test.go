@@ -640,3 +640,87 @@ func BenchmarkCluster_SingleServerReference(b *testing.B) {
 	}
 	benchNFPGraph(b, res.Graph, "cross-server")
 }
+
+// --- Flow fast path: exact-match microflow cache ---
+//
+// benchClassifierRules measures raw classification cost as the rule
+// table grows: rules-1 never-matching rules ahead of one catch-all, so
+// the slow path walks the whole table while the microflow cache
+// resolves every warm flow in one hash probe. The tracked claim is
+// flatness: Rules4096 within 1.25x of Rules16 with the cache on, while
+// the _NoFlowCache ablation scales linearly with the rule count.
+func benchClassifierRules(b *testing.B, rules int, disableCache bool) {
+	srv := dataplane.New(dataplane.Config{
+		PoolSize:         64,
+		DisableFlowCache: disableCache,
+	})
+	cls := srv.Classifier()
+	for i := 0; i < rules-1; i++ {
+		// DstPort 9000+ never appears in bench traffic (DstPort 80).
+		cls.AddRule(dataplane.Match{DstPort: uint16(9000 + i%50000)}, 2)
+	}
+	cls.AddRule(dataplane.Match{SrcPrefix: netip.MustParsePrefix("10.0.0.0/8")}, 1)
+
+	const flows = 64
+	pkts := make([]*packet.Packet, flows)
+	for i := range pkts {
+		pkts[i] = packet.New(make([]byte, 256))
+		packet.BuildInto(pkts[i], benchSpec(i, "x"))
+	}
+	batch := make([]*packet.Packet, flows)
+	copy(batch, pkts)
+	if n := cls.ClassifyBatch(batch); n != flows { // warm the cache
+		b.Fatalf("warmup classified %d of %d", n, flows)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += flows {
+		copy(batch, pkts)
+		if n := cls.ClassifyBatch(batch); n != flows {
+			b.Fatal("classification failed")
+		}
+	}
+}
+
+func BenchmarkClassifier_Rules16(b *testing.B)   { benchClassifierRules(b, 16, false) }
+func BenchmarkClassifier_Rules256(b *testing.B)  { benchClassifierRules(b, 256, false) }
+func BenchmarkClassifier_Rules4096(b *testing.B) { benchClassifierRules(b, 4096, false) }
+
+func BenchmarkClassifier_Rules16_NoFlowCache(b *testing.B)   { benchClassifierRules(b, 16, true) }
+func BenchmarkClassifier_Rules256_NoFlowCache(b *testing.B)  { benchClassifierRules(b, 256, true) }
+func BenchmarkClassifier_Rules4096_NoFlowCache(b *testing.B) { benchClassifierRules(b, 4096, true) }
+
+// The tracked end-to-end graphs with the cache ablated. These run the
+// default-route-only classifier, which bypasses the cache either way,
+// so before/after here bounds the fast path's overhead on traffic that
+// cannot benefit from it (the ci.sh bench-flowcache guardrail).
+func BenchmarkFig7_NFP_SeqChain5_Burst32_NoFlowCache(b *testing.B) {
+	srv := dataplane.New(dataplane.Config{
+		PoolSize: 2048, Mergers: 2, Burst: 32,
+		DisableFlowCache: true,
+	})
+	if err := srv.AddGraph(1, seqGraph(nfa.NFL3Fwd, 5)); err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	pumpBurst(b, srv, 32, "x")
+}
+
+func BenchmarkFig13_NorthSouth_Burst32_NoFlowCache(b *testing.B) {
+	res, err := core.Compile(policy.FromChain(nfa.NFVPN, nfa.NFMonitor, nfa.NFFirewall, nfa.NFLB), nil, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := dataplane.New(dataplane.Config{
+		PoolSize: 2048, Mergers: 2, Burst: 32,
+		DisableFlowCache: true,
+	})
+	if err := srv.AddGraph(1, res.Graph); err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	pumpBurst(b, srv, 32, "north-south payload")
+}

@@ -21,6 +21,16 @@
 #                    table reports, it never gates — on a single-core
 #                    runner the axis measures sharding overhead, not
 #                    scaling, and the table says so.
+#   ./ci.sh bench-flowcache — the non-blocking flow-fast-path job: runs
+#                    the Classifier_Rules{16,256,4096} benchmarks with
+#                    and without the microflow cache plus the cache-off
+#                    variants of the tracked Fig7/Fig13 Burst32 rows,
+#                    writes BENCH_flowcache.json, prints the
+#                    Rules4096/Rules16 hit-path flatness ratio
+#                    (expected ~1x cache-on: hits are O(1) regardless
+#                    of table size) and a delta table for the Fig7 row
+#                    against BENCH_fusion.json. Fail-soft: it reports,
+#                    it never gates.
 #   ./ci.sh incident — the flight-recorder smoke: boots nfpd with an
 #                    injected NF panic and an incident spool, asserts
 #                    /debug/flightrecorder reports a balanced drop
@@ -382,6 +392,89 @@ if [ "${1:-}" = "bench-shard" ]; then
                 print "  note: fewer than 4 cores — this run measures sharding overhead, not scaling"
         }
     ' "$raw" || echo "warning: scaling table failed"
+    exit 0
+fi
+
+if [ "${1:-}" = "bench-flowcache" ]; then
+    out="${BENCH_OUT:-BENCH_flowcache.json}"
+    base="${BENCH_BASELINE:-BENCH_fusion.json}"
+    raw="$(mktemp)"
+    trap 'rm -f "$raw"' EXIT
+    go test -run '^$' \
+        -bench 'Classifier_Rules(16|256|4096)(_NoFlowCache)?$|Fig7_NFP_SeqChain5_Burst32(_NoFlowCache)?$|Fig13_NorthSouth_Burst32(_NoFlowCache)?$' \
+        -benchmem -benchtime="${BENCH_TIME:-1s}" . | tee "$raw"
+    awk '
+        BEGIN { print "[" }
+        /^Benchmark/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            ns = $3; bytes = $5; allocs = $7
+            pps = (ns > 0) ? 1e9 / ns : 0
+            if (n++) printf ",\n"
+            printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"pkts_per_sec\": %.0f, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+                name, ns, pps, bytes, allocs
+        }
+        END { printf "\n]\n" }
+    ' "$raw" > "$out"
+    echo "wrote $out"
+    # Hit-path flatness: cache-on ns/op must not grow with the rule
+    # table (every steady-state packet is an exact-match hit), while
+    # the _NoFlowCache rows show the linear walk the cache bypasses.
+    # Fail-soft by design: this job reports, it never gates.
+    awk '
+        /^BenchmarkClassifier_Rules[0-9]+(-[0-9]+)?[ \t]/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            rules = name; sub(/^.*_Rules/, "", rules)
+            on[rules] = $3 + 0
+        }
+        /^BenchmarkClassifier_Rules[0-9]+_NoFlowCache(-[0-9]+)?[ \t]/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            rules = name; sub(/^.*_Rules/, "", rules); sub(/_NoFlowCache$/, "", rules)
+            off[rules] = $3 + 0
+        }
+        END {
+            print "flow-cache hit-path flatness (ns/op per packet):"
+            n = split("16 256 4096", sizes, " ")
+            for (i = 1; i <= n; i++) {
+                r = sizes[i]
+                if (!(r in on)) continue
+                spd = (r in off && on[r] > 0) ? off[r] / on[r] : 0
+                printf "  Rules%-5s cache-on %8.1f  cache-off %10.1f  speedup %7.2fx\n", r, on[r], off[r], spd
+            }
+            if (on[16] > 0 && on[4096] > 0) {
+                ratio = on[4096] / on[16]
+                printf "  Rules4096/Rules16 cache-on ratio: %.2fx (flat hit path wants ~1x, criterion <= 1.25x)\n", ratio
+            } else {
+                print "  warning: missing Rules16/Rules4096 cache-on rows"
+            }
+        }
+    ' "$raw" || echo "warning: flatness table failed"
+    # Tracked-row tax: the cache must be invisible on the default-route
+    # Fig7/Fig13 paths (empty rule table bypasses it entirely).
+    if [ -f "$base" ]; then
+        awk -v base="$base" '
+            NR == FNR {
+                if (match($0, /"name": "[^"]+"/)) {
+                    name = substr($0, RSTART + 9, RLENGTH - 10)
+                    if (match($0, /"ns_per_op": [0-9.]+/))
+                        prev[name] = substr($0, RSTART + 13, RLENGTH - 13)
+                }
+                next
+            }
+            /^BenchmarkFig/ {
+                name = $1; sub(/-[0-9]+$/, "", name)
+                key = name; sub(/_NoFlowCache$/, "", key)
+                ns = $3 + 0
+                if (key in prev && prev[key] > 0) {
+                    delta = 100 * (ns - prev[key]) / prev[key]
+                    printf "%-52s %10.1f ns/op  baseline %10.1f  delta %+7.1f%%\n", name, ns, prev[key], delta
+                } else {
+                    printf "%-52s %10.1f ns/op  (no baseline)\n", name, ns
+                }
+            }
+        ' "$base" "$raw" || echo "warning: delta table failed (malformed $base?)"
+    else
+        echo "warning: no baseline $base — skipping delta table"
+    fi
     exit 0
 fi
 

@@ -78,6 +78,10 @@ func run() int {
 		"dataplane burst size: packets moved per ring operation (1 = scalar compatibility mode)")
 	shards := flag.Int("shards", dataplane.DefaultShards(),
 		"flow-sharded execution domains: the whole plan replicated per shard, packets dispatched by 5-tuple hash (1 = classic single-shard layout; default = cores, capped at 8)")
+	flowCache := flag.Bool("flow-cache", true,
+		"exact-match microflow cache in front of the rule walk (false = ablate: every packet re-walks the classifier rules)")
+	flowCacheSize := flag.Int("flow-cache-size", 0,
+		"per-shard microflow cache slots, rounded up to a power of two (0 = default 4096)")
 	ringPolicy := flag.String("ring-policy", "block",
 		"receive-ring backpressure policy: block (lossless), drop-tail, or shed-lowest-priority")
 	spinLimit := flag.Int("spin-limit", dataplane.DefaultSpinLimit,
@@ -184,6 +188,9 @@ func run() int {
 		Fusion:          fusionMode,
 		Shards:          *shards,
 		DropSampleRate:  *dropSample,
+
+		DisableFlowCache: !*flowCache,
+		FlowCacheSize:    *flowCacheSize,
 	}
 	if *panicNF != "" {
 		name, call, err := parsePanicNF(*panicNF)

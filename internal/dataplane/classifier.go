@@ -78,6 +78,81 @@ type Classifier struct {
 	flowObs  FlowObserver
 	flowMask uint64
 	flowRate uint64
+
+	// caches[i] is shard i's exact-match microflow cache (nil slice =
+	// fast path disabled). In sharded mode entries are only installed
+	// from shard i's single classification goroutine; unsharded servers
+	// classify inline from arbitrary injector goroutines against
+	// caches[0], which stays safe because slots are atomic pointers to
+	// immutable entries — a racing install is last-writer-wins, never a
+	// torn read. Cache hit/miss/eviction counters are amortized per
+	// burst like the outcome counters.
+	caches     []microCache
+	cacheHits  *telemetry.Counter
+	cacheMiss  *telemetry.Counter
+	cacheEvict *telemetry.Counter
+}
+
+// flowCacheEntry is one installed microflow: the packed key, the
+// classification it resolved to, and the exact table version it was
+// computed against. Entries are immutable after publication; staleness
+// is a single pointer compare with the live table, so every rule
+// mutation (and Reload's republish) invalidates the whole cache for
+// free — no generation counters on the probe path.
+type flowCacheEntry struct {
+	table      *classTable
+	key        packet.FlowKey
+	mid        uint32
+	viaDefault bool
+}
+
+// microCache is one shard's microflow cache in the OVS EMC mold: a
+// power-of-two array of atomic entry pointers, probed two-way — each
+// flow hashes to a primary and a secondary slot (disjoint hash bits),
+// so two flows colliding on one index coexist instead of thrashing
+// each other with a full rule walk per packet. Only when both ways
+// hold live entries does an install overwrite in place (cheap
+// eviction); the displaced flow simply takes the rule walk again on
+// its next packet, so the cache bounds memory, never correctness.
+type microCache struct {
+	slots []atomic.Pointer[flowCacheEntry]
+	mask  uint64
+}
+
+// bindFlowCache allocates one microflow cache per shard, each with
+// slots rounded up to a power of two. Called once by the owning Server
+// before traffic flows; a classifier without it (zero value, tests)
+// runs the plain rule walk.
+func (c *Classifier) bindFlowCache(shards, slots int) {
+	if shards < 1 {
+		shards = 1
+	}
+	size := 1
+	for size < slots {
+		size <<= 1
+	}
+	c.caches = make([]microCache, shards)
+	for i := range c.caches {
+		c.caches[i] = microCache{
+			slots: make([]atomic.Pointer[flowCacheEntry], size),
+			mask:  uint64(size - 1),
+		}
+	}
+	if c.reg != nil {
+		c.cacheHits = c.reg.Counter("nfp_classifier_cache_hits_total")
+		c.cacheMiss = c.reg.Counter("nfp_classifier_cache_misses_total")
+		c.cacheEvict = c.reg.Counter("nfp_classifier_cache_evictions_total")
+	}
+}
+
+// InvalidateCache force-expires every microflow cache entry by
+// republishing the classification table under a fresh pointer: entries
+// are stamped with the table they were computed against, so the
+// republish makes all of them stale at once without touching a slot.
+// Rule mutations do this implicitly; Server.Reload calls it explicitly
+// so a config-generation swap never serves a pre-swap cache line.
+func (c *Classifier) InvalidateCache() {
+	c.mutate(func(*classTable) {})
 }
 
 // bindTelemetry points the classifier's counters at a registry. Called
@@ -202,10 +277,102 @@ func (c *Classifier) SetDefault(mid uint32) {
 	})
 }
 
+// Cache probe outcomes of lookupFast.
+const (
+	fcBypass = iota // cache not consulted (unparseable packet)
+	fcHit           // one hash probe resolved the packet
+	fcMiss          // rule walk ran; result installed when routable
+)
+
+// cacheFor returns the shard's microflow cache, or nil when the fast
+// path should not engage: cache disabled, or the rule table is empty —
+// the default route is already O(1), and bypassing keeps the no-rules
+// hot path byte-identical to the pre-cache dataplane.
+func (c *Classifier) cacheFor(t *classTable, shard int) *microCache {
+	if c.caches == nil || len(t.rules) == 0 {
+		return nil
+	}
+	return &c.caches[shard]
+}
+
+// scanRules is the slow path: the §5.1 linear first-match walk, then
+// the default route.
+func scanRules(t *classTable, fk packet.FlowKey) (mid uint32, ok, viaDefault bool) {
+	k := flow.FromPacked(fk)
+	for i := range t.rules {
+		if t.rules[i].match.Covers(k) {
+			return t.rules[i].mid, true, false
+		}
+	}
+	if t.hasDefault {
+		return t.defaultMID, true, true
+	}
+	return 0, false, false
+}
+
+// lookupFast resolves a packet through the microflow cache: a hit is
+// one atomic load plus two compares (table pointer, packed key); a miss
+// runs the rule walk and installs the result — including via-default
+// resolutions, which paid for the full failed walk and are worth
+// caching — under the current table pointer. Unroutable results are not
+// installed: the cache holds only flows the dataplane will accept.
+// Unparseable packets carry no 5-tuple and bypass the cache with the
+// same default fallthrough as lookupIn, so outcomes (and therefore
+// counters, PIDs and digests) are identical cache-on and cache-off.
+func (c *Classifier) lookupFast(t *classTable, mc *microCache, p *packet.Packet) (mid uint32, ok, viaDefault bool, res int) {
+	fk, err := p.FlowKey()
+	if err != nil {
+		if t.hasDefault {
+			return t.defaultMID, true, true, fcBypass
+		}
+		return 0, false, false, fcBypass
+	}
+	h := fk.Hash()
+	s1 := &mc.slots[h&mc.mask]
+	if e := s1.Load(); e != nil && e.table == t && e.key == fk {
+		return e.mid, true, e.viaDefault, fcHit
+	}
+	s2 := &mc.slots[(h>>16)&mc.mask]
+	if e := s2.Load(); e != nil && e.table == t && e.key == fk {
+		return e.mid, true, e.viaDefault, fcHit
+	}
+	mid, ok, viaDefault = scanRules(t, fk)
+	if ok {
+		// Install into the primary way unless it holds a live
+		// (current-table) entry for another flow and the secondary way
+		// is free or stale. Displacing a live entry counts as an
+		// eviction; overwriting a stale one is reclamation.
+		slot := s1
+		if old := s1.Load(); old != nil && old.table == t && old.key != fk {
+			if old2 := s2.Load(); old2 == nil || old2.table != t {
+				slot = s2
+			} else {
+				c.cacheEvict.Add(1)
+			}
+		}
+		slot.Store(&flowCacheEntry{table: t, key: fk, mid: mid, viaDefault: viaDefault})
+	}
+	return mid, ok, viaDefault, fcMiss
+}
+
 // Classify resolves the MID for a packet and stamps its metadata.
 // It returns false when no rule matches and no default is set.
 func (c *Classifier) Classify(p *packet.Packet) (uint32, bool) {
-	mid, ok, viaDefault := c.lookup(p)
+	t := c.loadTable()
+	var mid uint32
+	var ok, viaDefault bool
+	if mc := c.cacheFor(t, 0); mc != nil {
+		var res int
+		mid, ok, viaDefault, res = c.lookupFast(t, mc, p)
+		switch res {
+		case fcHit:
+			c.cacheHits.Add(1)
+		case fcMiss:
+			c.cacheMiss.Add(1)
+		}
+	} else {
+		mid, ok, viaDefault = c.lookupIn(t, p)
+	}
 	if !ok {
 		c.unmatchedC.Add(1)
 		return 0, false
@@ -243,13 +410,36 @@ func (c *Classifier) Classify(p *packet.Packet) (uint32, bool) {
 // the per-burst scratch slice it replaces — and it stays safe under
 // concurrent injectors, which a shared scratch buffer would not be.
 func (c *Classifier) ClassifyBatch(pkts []*packet.Packet) int {
+	return c.ClassifyBatchShard(pkts, 0)
+}
+
+// ClassifyBatchShard is ClassifyBatch bound to a specific shard's
+// microflow cache. Sharded dataplanes call it from shard goroutines so
+// each cache has a single installer; everything else (including the
+// unsharded Server) uses shard 0 via ClassifyBatch.
+func (c *Classifier) ClassifyBatchShard(pkts []*packet.Packet, shard int) int {
 	t := c.loadTable()
+	mc := c.cacheFor(t, shard)
 	var ruleHits, defHits, unmatched uint64
+	var hits, misses uint64
 	var runMID uint32
 	var runCnt uint64
 	n := 0
 	for i, p := range pkts {
-		mid, ok, viaDefault := c.lookupIn(t, p)
+		var mid uint32
+		var ok, viaDefault bool
+		if mc != nil {
+			var res int
+			mid, ok, viaDefault, res = c.lookupFast(t, mc, p)
+			switch res {
+			case fcHit:
+				hits++
+			case fcMiss:
+				misses++
+			}
+		} else {
+			mid, ok, viaDefault = c.lookupIn(t, p)
+		}
 		if !ok {
 			unmatched++
 			continue
@@ -288,11 +478,13 @@ func (c *Classifier) ClassifyBatch(pkts []*packet.Packet) int {
 	if unmatched > 0 {
 		c.unmatchedC.Add(unmatched)
 	}
+	if hits > 0 {
+		c.cacheHits.Add(hits)
+	}
+	if misses > 0 {
+		c.cacheMiss.Add(misses)
+	}
 	return n
-}
-
-func (c *Classifier) lookup(p *packet.Packet) (mid uint32, ok, viaDefault bool) {
-	return c.lookupIn(c.loadTable(), p)
 }
 
 func (c *Classifier) lookupIn(t *classTable, p *packet.Packet) (mid uint32, ok, viaDefault bool) {

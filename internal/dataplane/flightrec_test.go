@@ -368,6 +368,24 @@ func TestMetricLintClean(t *testing.T) {
 	d.SampleNow()
 
 	snap := reg.Snapshot()
+	// The flow-cache counters register eagerly with the cache, so the
+	// lint always exercises them; prove they are actually in the snap.
+	for _, name := range []string{
+		"nfp_classifier_cache_hits_total",
+		"nfp_classifier_cache_misses_total",
+		"nfp_classifier_cache_evictions_total",
+	} {
+		found := false
+		for _, c := range snap.Counters {
+			if c.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("flow-cache series %s missing from the lint snapshot", name)
+		}
+	}
 	if findings := telemetry.LintNames(snap); len(findings) != 0 {
 		for _, f := range findings {
 			t.Error(f)

@@ -164,6 +164,15 @@ type Config struct {
 	// provenance counters (nfp_drops_total{cause}) remain exact even
 	// with the recorder off.
 	DisableFlightRecorder bool
+	// DisableFlowCache turns off the classifier's exact-match
+	// microflow cache (ablation: every packet takes the full rule
+	// walk). The cache is on by default and self-invalidates on any
+	// rule mutation or reload, so disabling it never changes
+	// classification results — only their cost.
+	DisableFlowCache bool
+	// FlowCacheSize is the per-shard microflow cache slot count,
+	// rounded up to a power of two (default 4096).
+	FlowCacheSize int
 }
 
 func (c *Config) setDefaults() {
@@ -226,6 +235,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.DropSampleRate < 1 {
 		c.DropSampleRate = 1
+	}
+	if c.FlowCacheSize == 0 {
+		c.FlowCacheSize = 4096
 	}
 }
 
@@ -425,6 +437,9 @@ func New(cfg Config) *Server {
 		telemetry.L("fusion", bi["fusion"]),
 	).Set(1)
 	s.classifier.bindTelemetry(s.tel)
+	if !cfg.DisableFlowCache {
+		s.classifier.bindFlowCache(cfg.Shards, cfg.FlowCacheSize)
+	}
 	if cfg.FlowAccount != nil {
 		s.classifier.bindFlowObserver(cfg.FlowAccount, pidMask(cfg.FlowSampleRate))
 	}
@@ -519,11 +534,11 @@ func (s *Server) ShardOf(pkt *packet.Packet) int {
 	if !s.sharded() {
 		return 0
 	}
-	k, err := flow.FromPacket(pkt)
+	fk, err := pkt.FlowKey()
 	if err != nil {
 		return 0
 	}
-	return s.ShardOfKey(k)
+	return int(shardMix(fk.SymmetricHash()) % uint64(len(s.shards)))
 }
 
 // ShardPool returns shard i's mempool partition (the shared pool when
@@ -819,6 +834,9 @@ func (s *Server) ReloadProvide(mid uint32, g graph.Node, provide func(shard int,
 	}
 	s.generation.Store(nextGen)
 	s.plansMu.Unlock()
+	// A config-generation swap may retarget MIDs wholesale; expire every
+	// microflow cache line so no packet rides a pre-swap classification.
+	s.classifier.InvalidateCache()
 	s.genG.Set(int64(nextGen))
 	s.reloadsC.Inc()
 	s.note(flightrec.KindReloadSwap, nextGen, 0, 0)

@@ -122,7 +122,7 @@ func (sh *shard) ingressLoop() {
 // never "injected", so conservation stays injected == outputs+drops).
 func (sh *shard) classifyBurst(pkts []*packet.Packet) {
 	s := sh.srv
-	n := s.classifier.ClassifyBatch(pkts)
+	n := s.classifier.ClassifyBatchShard(pkts, sh.id)
 	plans := *sh.plans.Load()
 	m := 0
 	for i := 0; i < n; i++ {
@@ -227,9 +227,10 @@ func (sh *shard) classifySpan(pr *planRuntime, pkt *packet.Packet, now int64) {
 func (sh *shard) injectBurst(pr *planRuntime, pkts []*packet.Packet) {
 	now := time.Now().UnixNano()
 	for _, pkt := range pkts {
-		// Pre-parse so NFs sharing the packet in a no-copy parallel
-		// group only read the layout cache (see injectInto).
-		_ = pkt.Parse()
+		// Pre-warm the layout and flow-key caches so NFs sharing the
+		// packet in a no-copy parallel group only read them (see
+		// injectInto). FlowKey parses internally.
+		_, _ = pkt.FlowKey()
 		if sh.srv.tracer.Sampled(pkt.Meta.PID) {
 			sh.classifySpan(pr, pkt, now)
 		}
@@ -241,10 +242,11 @@ func (sh *shard) injectBurst(pr *planRuntime, pkts []*packet.Packet) {
 // injectInto sends one packet into its graph; the caller must have
 // reserved its in-flight slot on pr via acquire.
 func (sh *shard) injectInto(pr *planRuntime, pkt *packet.Packet) bool {
-	// Pre-parse so NFs sharing the packet in a no-copy parallel group
-	// only read the layout cache (writing it lazily would be a data
-	// race between runtimes, even with identical values).
-	_ = pkt.Parse()
+	// Pre-warm the layout and flow-key caches so NFs sharing the packet
+	// in a no-copy parallel group only read them (writing either lazily
+	// would be a data race between runtimes, even with identical
+	// values). FlowKey parses internally.
+	_, _ = pkt.FlowKey()
 	sh.srv.injected.Add(1)
 	var cursor int64
 	if sh.srv.tracer.Sampled(pkt.Meta.PID) {

@@ -24,6 +24,14 @@ type ExecReloadOptions struct {
 	// Reloads is how many mid-stream reloads to fire, evenly spaced
 	// across the injection window (default 1).
 	Reloads int
+	// DisableFlowCache ablates the classifier's microflow cache (see
+	// ExecShardOptions.DisableFlowCache).
+	DisableFlowCache bool
+	// RuleSplit installs the graph under MID 2 as well and splits
+	// traffic with DstPort rules (see ExecShardOptions.RuleSplit), so
+	// reload-time cache invalidation is exercised against a populated
+	// cache rather than the empty-table bypass.
+	RuleSplit bool
 }
 
 // ExecuteReload is ExecuteSharded with live reconfiguration injected
@@ -61,14 +69,20 @@ func (t *Trial) ExecuteReload(g graph.Node, n int, trafficSeed int64, opts ExecR
 		return s
 	}
 	srv := dataplane.New(dataplane.Config{
-		PoolSize: 512 * shards,
-		Mergers:  2,
-		Burst:    opts.Burst,
-		Shards:   shards,
-		Fusion:   opts.Fusion,
+		PoolSize:         512 * shards,
+		Mergers:          2,
+		Burst:            opts.Burst,
+		Shards:           shards,
+		Fusion:           opts.Fusion,
+		DisableFlowCache: opts.DisableFlowCache,
 	})
 	if err := srv.AddGraphProvide(1, g, provide); err != nil {
 		return nil, err
+	}
+	if opts.RuleSplit {
+		if err := installRuleSplit(srv, g, provide); err != nil {
+			return nil, err
+		}
 	}
 	if err := srv.Start(); err != nil {
 		return nil, err

@@ -43,6 +43,47 @@ type ExecShardOptions struct {
 	Burst int
 	// Fusion selects the execution engine (FusionAuto = server default).
 	Fusion dataplane.FusionMode
+	// DisableFlowCache ablates the classifier's microflow cache, so a
+	// cache-on run can be held observationally equal to a cache-off run
+	// of the same seed — the flow-fast-path correctness differential.
+	DisableFlowCache bool
+	// RuleSplit installs the trial graph a second time under MID 2 and
+	// splits traffic between the two identical copies with DstPort
+	// rules over a default route, so the classifier's rule walk — and
+	// therefore the microflow cache — is actually exercised (an
+	// empty-rule table bypasses the cache entirely). All aggregated
+	// observations are MID-independent, so split runs compare equal.
+	RuleSplit bool
+	// Churns lists injection indices at which a redirect rule is
+	// prepended mid-stream (the §7 elasticity primitive), each one
+	// invalidating every installed cache entry. Requires RuleSplit.
+	Churns []int
+}
+
+// installRuleSplit installs g a second time under MID 2 and programs a
+// DstPort split over the trial traffic (ports 80-83): 80 stays on MID 1
+// by explicit rule, 81 and 83 move to MID 2, and 82 rides the default
+// route (MID 1) until a churn redirects it.
+func installRuleSplit(srv *dataplane.Server, g graph.Node, provide func(int, graph.NF) nf.NF) error {
+	if err := srv.AddGraphProvide(2, g, provide); err != nil {
+		return err
+	}
+	cls := srv.Classifier()
+	cls.AddRule(dataplane.Match{DstPort: 80}, 1)
+	cls.AddRule(dataplane.Match{DstPort: 81}, 2)
+	cls.AddRule(dataplane.Match{DstPort: 83}, 2)
+	return nil
+}
+
+// churnRedirect fires the c-th mid-stream redirect: a prepended rule
+// moving the port-82 flows, alternating the target MID so every churn
+// actually changes classifications (each prepend shadows the last).
+func churnRedirect(srv *dataplane.Server, c int) {
+	mid := uint32(2)
+	if c%2 == 1 {
+		mid = 1
+	}
+	srv.Classifier().PrependRule(dataplane.Match{DstPort: 82}, mid)
 }
 
 // ExecuteSharded replays n deterministic packets (seeded by
@@ -67,19 +108,25 @@ func (t *Trial) ExecuteSharded(g graph.Node, n int, trafficSeed int64, opts Exec
 	syns := make(map[string][]*SynNF, len(t.Profiles))
 	srv := dataplane.New(dataplane.Config{
 		// A whole-server budget: every shard gets PoolSize/shards.
-		PoolSize: 512 * shards,
-		Mergers:  2,
-		Burst:    opts.Burst,
-		Shards:   shards,
-		Fusion:   opts.Fusion,
+		PoolSize:         512 * shards,
+		Mergers:          2,
+		Burst:            opts.Burst,
+		Shards:           shards,
+		Fusion:           opts.Fusion,
+		DisableFlowCache: opts.DisableFlowCache,
 	})
-	err := srv.AddGraphProvide(1, g, func(shard int, node graph.NF) nf.NF {
+	provide := func(shard int, node graph.NF) nf.NF {
 		s := NewSynNF(node.Name, t.Profiles[node.Name])
 		syns[node.Name] = append(syns[node.Name], s)
 		return s
-	})
-	if err != nil {
+	}
+	if err := srv.AddGraphProvide(1, g, provide); err != nil {
 		return nil, err
+	}
+	if opts.RuleSplit {
+		if err := installRuleSplit(srv, g, provide); err != nil {
+			return nil, err
+		}
 	}
 	if err := srv.Start(); err != nil {
 		return nil, err
@@ -106,9 +153,23 @@ func (t *Trial) ExecuteSharded(g graph.Node, n int, trafficSeed int64, opts Exec
 			p.Free()
 		}
 	}()
+	// Mid-stream churns fire synchronously between injections (sorted by
+	// index); with bursts, the batch is capped at the next churn point
+	// so a churn never lands inside a burst's alloc-build-inject window.
+	churns := append([]int(nil), opts.Churns...)
+	sort.Ints(churns)
+	churned := 0
+	maybeChurn := func(i int) {
+		for churned < len(churns) && churns[churned] <= i {
+			churnRedirect(srv, churned)
+			churned++
+		}
+	}
+
 	rng := rand.New(rand.NewSource(trafficSeed))
 	if opts.Burst <= 1 {
 		for i := 0; i < n; i++ {
+			maybeChurn(i)
 			pkt := srv.Pool().Get()
 			for pkt == nil {
 				pkt = srv.Pool().Get()
@@ -121,9 +182,13 @@ func (t *Trial) ExecuteSharded(g graph.Node, n int, trafficSeed int64, opts Exec
 	} else {
 		batch := make([]*packet.Packet, opts.Burst)
 		for i := 0; i < n; {
+			maybeChurn(i)
 			want := opts.Burst
 			if n-i < want {
 				want = n - i
+			}
+			if churned < len(churns) && churns[churned]-i < want {
+				want = churns[churned] - i
 			}
 			got := srv.Pool().AllocBatch(batch[:want])
 			for got == 0 {

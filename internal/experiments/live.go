@@ -108,6 +108,13 @@ type LiveOptions struct {
 	// sampling (see dataplane.Config.DropSampleRate; 0 keeps the
 	// default of recording every drop).
 	DropSampleRate int
+	// DisableFlowCache turns off the classifier's exact-match microflow
+	// cache (see dataplane.Config.DisableFlowCache) — the ablation
+	// switch behind nfpd's -flow-cache=false.
+	DisableFlowCache bool
+	// FlowCacheSize overrides the per-shard microflow cache slot count
+	// (see dataplane.Config.FlowCacheSize; 0 keeps the default).
+	FlowCacheSize int
 	// WrapNF, if non-nil, wraps every NF instance at install time —
 	// nfpd's -panic-nf fault injection hooks in here. The wrapper
 	// applies only to the initial instances: supervisor restarts build
@@ -165,6 +172,9 @@ func RunLiveGraphOpts(g graph.Node, n int, gen *trafficgen.Generator, opts LiveO
 		FlowSampleRate:  opts.FlowSampleRate,
 		E2ESampleRate:   opts.E2ESampleRate,
 		DropSampleRate:  opts.DropSampleRate,
+
+		DisableFlowCache: opts.DisableFlowCache,
+		FlowCacheSize:    opts.FlowCacheSize,
 	})
 	var addErr error
 	if opts.WrapNF != nil {

@@ -19,19 +19,35 @@ type Key struct {
 	Proto            uint8
 }
 
-// FromPacket extracts the 5-tuple of p. Packets carrying an AH header
-// still expose the inner L4 ports through the parsed layout.
+// FromPacket extracts the 5-tuple of p via the packet-carried packed
+// key (packet.FlowKey), so the parse and field extraction are paid at
+// most once per packet no matter how many NFs ask. Packets carrying an
+// AH header still expose the inner L4 ports through the parsed layout.
 func FromPacket(p *packet.Packet) (Key, error) {
-	if err := p.Parse(); err != nil {
+	fk, err := p.FlowKey()
+	if err != nil {
 		return Key{}, err
 	}
+	return FromPacked(fk), nil
+}
+
+// FromPacked widens a packed packet.FlowKey into a Key. Alloc-free:
+// netip.AddrFrom4 is a plain struct construction.
+func FromPacked(fk packet.FlowKey) Key {
 	return Key{
-		SrcIP:   p.SrcIP(),
-		DstIP:   p.DstIP(),
-		SrcPort: p.SrcPort(),
-		DstPort: p.DstPort(),
-		Proto:   p.Protocol(),
-	}, nil
+		SrcIP: netip.AddrFrom4(fk.Src), DstIP: netip.AddrFrom4(fk.Dst),
+		SrcPort: fk.SrcPort, DstPort: fk.DstPort, Proto: fk.Proto,
+	}
+}
+
+// Packed returns the compact fixed-size form of k — the representation
+// hot-path maps and caches should key on. Panics if either address is
+// not IPv4 (as Hash always has, via As4).
+func (k Key) Packed() packet.FlowKey {
+	return packet.FlowKey{
+		Src: k.SrcIP.As4(), Dst: k.DstIP.As4(),
+		SrcPort: k.SrcPort, DstPort: k.DstPort, Proto: k.Proto,
+	}
 }
 
 // Reverse returns the key of the opposite direction.
@@ -47,41 +63,18 @@ func (k Key) String() string {
 	return fmt.Sprintf("%s:%d->%s:%d/%d", k.SrcIP, k.SrcPort, k.DstIP, k.DstPort, k.Proto)
 }
 
-// FNV-1a constants.
-const (
-	fnvOffset = 14695981039346656037
-	fnvPrime  = 1099511628211
-)
-
 // Hash returns a 64-bit FNV-1a hash of the 5-tuple, used by the ECMP
-// load balancer and the classifier.
-func (k Key) Hash() uint64 {
-	h := uint64(fnvOffset)
-	mix := func(b []byte) {
-		for _, c := range b {
-			h ^= uint64(c)
-			h *= fnvPrime
-		}
-	}
-	s4 := k.SrcIP.As4()
-	d4 := k.DstIP.As4()
-	mix(s4[:])
-	mix(d4[:])
-	mix([]byte{byte(k.SrcPort >> 8), byte(k.SrcPort), byte(k.DstPort >> 8), byte(k.DstPort), k.Proto})
-	return h
-}
+// load balancer and the classifier. It delegates to the fully unrolled
+// packet.FlowKey.Hash (no per-byte closure); the values are
+// bit-identical to the historical closure-loop implementation — the
+// golden-value test pins them — so backend and shard assignment never
+// move.
+func (k Key) Hash() uint64 { return k.Packed().Hash() }
 
 // SymmetricHash returns a direction-independent hash: A->B and B->A map
 // to the same value, the property gopacket's Flow.FastHash documents and
 // NFP's bidirectional NFs rely on.
-func (k Key) SymmetricHash() uint64 {
-	a, b := k.Hash(), k.Reverse().Hash()
-	if a > b {
-		a, b = b, a
-	}
-	// Combine the ordered pair so distinct flows stay distinct.
-	return a*fnvPrime ^ b
-}
+func (k Key) SymmetricHash() uint64 { return k.Packed().SymmetricHash() }
 
 // HashPID hashes a packet ID for merger-agent load balancing. §5.3: "the
 // merger agent performs a simple and fast hashing on the immutable PID

@@ -85,11 +85,12 @@ func (fw *Firewall) Profile() nfa.Profile { return profileFor(nfa.NFFirewall) }
 
 // Process walks the ACL first-match-wins.
 func (fw *Firewall) Process(p *packet.Packet) Verdict {
-	k, err := flow.FromPacket(p)
+	fk, err := p.FlowKey()
 	if err != nil {
 		fw.dropped++
 		return Drop // unparseable traffic is dropped, like a real filter
 	}
+	k := flow.FromPacked(fk)
 	action := fw.def
 	for i := range fw.rules {
 		if fw.rules[i].Matches(k) {
@@ -109,17 +110,20 @@ func (fw *Firewall) Process(p *packet.Packet) Verdict {
 // per packet, so consecutive packets of one flow (bursts are bursty by
 // nature) reuse the previous ACL walk's decision.
 func (fw *Firewall) ProcessBatch(pkts []*packet.Packet, verdicts []Verdict) {
-	var lastKey flow.Key
+	var lastKey packet.FlowKey
 	var lastAction ACLAction
 	haveLast := false
 	for i, p := range pkts {
-		k, err := flow.FromPacket(p)
+		fk, err := p.FlowKey()
 		if err != nil {
 			fw.dropped++
 			verdicts[i] = Drop // unparseable traffic is dropped, like a real filter
 			continue
 		}
-		if !haveLast || k != lastKey {
+		// Run detection compares packed keys; the ACL walk widens only
+		// at run boundaries.
+		if !haveLast || fk != lastKey {
+			k := flow.FromPacked(fk)
 			lastAction = fw.def
 			for j := range fw.rules {
 				if fw.rules[j].Matches(k) {
@@ -127,7 +131,7 @@ func (fw *Firewall) ProcessBatch(pkts []*packet.Packet, verdicts []Verdict) {
 					break
 				}
 			}
-			lastKey, haveLast = k, true
+			lastKey, haveLast = fk, true
 		}
 		if lastAction == Deny {
 			fw.dropped++

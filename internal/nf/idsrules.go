@@ -262,10 +262,11 @@ func (d *RuleIDS) Profile() nfa.Profile { return profileFor(nfa.NFIDS) }
 // Process evaluates all rules against the packet.
 func (d *RuleIDS) Process(p *packet.Packet) Verdict {
 	d.scanned++
-	k, err := flow.FromPacket(p)
+	fk, err := p.FlowKey()
 	if err != nil {
 		return Pass
 	}
+	k := flow.FromPacked(fk)
 	verdict := Pass
 	d.matcher.Match(p.Payload(), func(ruleIdx, _ int) bool {
 		r := &d.rules[ruleIdx]

@@ -46,13 +46,15 @@ func (lb *LoadBalancer) Name() string { return nfa.NFLB }
 // Profile implements NF.
 func (lb *LoadBalancer) Profile() nfa.Profile { return profileFor(nfa.NFLB) }
 
-// Process hashes the 5-tuple and rewrites src/dst addresses.
+// Process hashes the 5-tuple and rewrites src/dst addresses. The hash
+// runs on the packet-carried packed key, so no address widening happens
+// per packet.
 func (lb *LoadBalancer) Process(p *packet.Packet) Verdict {
-	k, err := flow.FromPacket(p)
+	fk, err := p.FlowKey()
 	if err != nil {
 		return Pass
 	}
-	i := int(k.Hash() % uint64(len(lb.backends)))
+	i := int(fk.Hash() % uint64(len(lb.backends)))
 	lb.counts[i]++
 	p.SetDstIP(lb.backends[i])
 	p.SetSrcIP(lb.vip)
@@ -65,17 +67,17 @@ func (lb *LoadBalancer) Process(p *packet.Packet) Verdict {
 // rewrite and checksum refresh still happen per packet (each packet has
 // its own buffer).
 func (lb *LoadBalancer) ProcessBatch(pkts []*packet.Packet, verdicts []Verdict) {
-	var lastKey flow.Key
+	var lastKey packet.FlowKey
 	lastIdx := -1
 	for i, p := range pkts {
 		verdicts[i] = Pass
-		k, err := flow.FromPacket(p)
+		fk, err := p.FlowKey()
 		if err != nil {
 			continue
 		}
-		if lastIdx < 0 || k != lastKey {
-			lastIdx = int(k.Hash() % uint64(len(lb.backends)))
-			lastKey = k
+		if lastIdx < 0 || fk != lastKey {
+			lastIdx = int(fk.Hash() % uint64(len(lb.backends)))
+			lastKey = fk
 		}
 		lb.counts[lastIdx]++
 		p.SetDstIP(lb.backends[lastIdx])

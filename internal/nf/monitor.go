@@ -18,14 +18,18 @@ type FlowStats struct {
 // operator. The counter table uses the hash value of the 5-tuple as
 // the key" (§6.1). It is the canonical read-only NF of the paper's
 // parallelism examples (Figure 1).
+// The counter table is keyed on the packed packet.FlowKey — the
+// packet-carried key classification already computed — so the hot path
+// never widens to netip addresses; the exported API still speaks
+// flow.Key and converts at the edge.
 type Monitor struct {
-	counters map[flow.Key]*FlowStats
+	counters map[packet.FlowKey]*FlowStats
 	total    FlowStats
 }
 
 // NewMonitor creates an empty monitor.
 func NewMonitor() *Monitor {
-	return &Monitor{counters: make(map[flow.Key]*FlowStats)}
+	return &Monitor{counters: make(map[packet.FlowKey]*FlowStats)}
 }
 
 // Name implements NF.
@@ -36,14 +40,14 @@ func (m *Monitor) Profile() nfa.Profile { return profileFor(nfa.NFMonitor) }
 
 // Process counts the packet against its flow.
 func (m *Monitor) Process(p *packet.Packet) Verdict {
-	k, err := flow.FromPacket(p)
+	fk, err := p.FlowKey()
 	if err != nil {
 		return Pass
 	}
-	st := m.counters[k]
+	st := m.counters[fk]
 	if st == nil {
 		st = &FlowStats{}
-		m.counters[k] = st
+		m.counters[fk] = st
 	}
 	st.Packets++
 	st.Bytes += uint64(p.Len())
@@ -55,21 +59,21 @@ func (m *Monitor) Process(p *packet.Packet) Verdict {
 // ProcessBatch implements BatchProcessor: one map lookup per run of
 // same-flow packets instead of one per packet.
 func (m *Monitor) ProcessBatch(pkts []*packet.Packet, verdicts []Verdict) {
-	var lastKey flow.Key
+	var lastKey packet.FlowKey
 	var lastStats *FlowStats
 	for i, p := range pkts {
 		verdicts[i] = Pass
-		k, err := flow.FromPacket(p)
+		fk, err := p.FlowKey()
 		if err != nil {
 			continue
 		}
-		if lastStats == nil || k != lastKey {
-			st := m.counters[k]
+		if lastStats == nil || fk != lastKey {
+			st := m.counters[fk]
 			if st == nil {
 				st = &FlowStats{}
-				m.counters[k] = st
+				m.counters[fk] = st
 			}
-			lastKey, lastStats = k, st
+			lastKey, lastStats = fk, st
 		}
 		lastStats.Packets++
 		lastStats.Bytes += uint64(p.Len())
@@ -80,7 +84,7 @@ func (m *Monitor) ProcessBatch(pkts []*packet.Packet, verdicts []Verdict) {
 
 // Flow returns the counters of one flow.
 func (m *Monitor) Flow(k flow.Key) (FlowStats, bool) {
-	st, ok := m.counters[k]
+	st, ok := m.counters[k.Packed()]
 	if !ok {
 		return FlowStats{}, false
 	}
@@ -95,19 +99,26 @@ func (m *Monitor) FlowCount() int { return len(m.counters) }
 
 // TopFlows returns up to n flows by packet count, descending.
 func (m *Monitor) TopFlows(n int) []flow.Key {
-	keys := make([]flow.Key, 0, len(m.counters))
-	for k := range m.counters {
-		keys = append(keys, k)
+	type kv struct {
+		k  flow.Key
+		st *FlowStats
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := m.counters[keys[i]], m.counters[keys[j]]
-		if a.Packets != b.Packets {
-			return a.Packets > b.Packets
+	all := make([]kv, 0, len(m.counters))
+	for fk, st := range m.counters {
+		all = append(all, kv{flow.FromPacked(fk), st})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].st.Packets != all[j].st.Packets {
+			return all[i].st.Packets > all[j].st.Packets
 		}
-		return keys[i].String() < keys[j].String()
+		return all[i].k.String() < all[j].k.String()
 	})
-	if len(keys) > n {
-		keys = keys[:n]
+	if len(all) > n {
+		all = all[:n]
+	}
+	keys := make([]flow.Key, len(all))
+	for i := range all {
+		keys[i] = all[i].k
 	}
 	return keys
 }
@@ -122,8 +133,8 @@ type FlowRecord struct {
 // the input to the NetFlow exporter.
 func (m *Monitor) Snapshot() []FlowRecord {
 	out := make([]FlowRecord, 0, len(m.counters))
-	for k, st := range m.counters {
-		out = append(out, FlowRecord{Key: k, Stats: *st})
+	for fk, st := range m.counters {
+		out = append(out, FlowRecord{Key: flow.FromPacked(fk), Stats: *st})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		return out[i].Key.String() < out[j].Key.String()

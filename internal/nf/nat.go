@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"net/netip"
 
-	"nfp/internal/flow"
 	"nfp/internal/nfa"
 	"nfp/internal/packet"
 )
@@ -15,9 +14,12 @@ import (
 // mapping restores inbound packets.
 type NAT struct {
 	external netip.Addr
+	// ext4 is external in packed form, compared against the
+	// packet-carried flow key without widening.
+	ext4     [4]byte
 	nextPort uint16
-	// forward maps internal flow -> allocated external source port.
-	forward map[flow.Key]uint16
+	// forward maps internal flow (packed) -> allocated external port.
+	forward map[packet.FlowKey]uint16
 	// reverse maps external port -> internal (srcIP, srcPort).
 	reverse map[uint16]natBinding
 }
@@ -30,10 +32,12 @@ type natBinding struct {
 // NewNAT creates a NAT with external address 203.0.113.1 and an
 // ephemeral port range starting at 20000.
 func NewNAT() (*NAT, error) {
+	ext := netip.MustParseAddr("203.0.113.1")
 	return &NAT{
-		external: netip.MustParseAddr("203.0.113.1"),
+		external: ext,
+		ext4:     ext.As4(),
 		nextPort: 20000,
-		forward:  map[flow.Key]uint16{},
+		forward:  map[packet.FlowKey]uint16{},
 		reverse:  map[uint16]natBinding{},
 	}, nil
 }
@@ -47,13 +51,13 @@ func (n *NAT) Profile() nfa.Profile { return profileFor(nfa.NFNAT) }
 // Process translates outbound packets (anything not addressed to the
 // external address) and reverses inbound ones.
 func (n *NAT) Process(p *packet.Packet) Verdict {
-	k, err := flow.FromPacket(p)
+	fk, err := p.FlowKey()
 	if err != nil {
 		return Pass
 	}
-	if k.DstIP == n.external {
+	if fk.Dst == n.ext4 {
 		// Inbound: restore the internal binding.
-		b, ok := n.reverse[k.DstPort]
+		b, ok := n.reverse[fk.DstPort]
 		if !ok {
 			return Drop // no binding: unsolicited inbound
 		}
@@ -63,14 +67,14 @@ func (n *NAT) Process(p *packet.Packet) Verdict {
 		return Pass
 	}
 	// Outbound: allocate or reuse a binding.
-	ext, ok := n.forward[k]
+	ext, ok := n.forward[fk]
 	if !ok {
 		ext = n.allocPort()
 		if ext == 0 {
 			return Drop // port space exhausted
 		}
-		n.forward[k] = ext
-		n.reverse[ext] = natBinding{addr: k.SrcIP, port: k.SrcPort}
+		n.forward[fk] = ext
+		n.reverse[ext] = natBinding{addr: netip.AddrFrom4(fk.Src), port: fk.SrcPort}
 	}
 	p.SetSrcIP(n.external)
 	p.SetSrcPort(ext)

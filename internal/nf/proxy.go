@@ -18,7 +18,10 @@ var viaTag = []byte("VIA0")
 // server — rewriting the destination address and stamping the payload
 // (its profile: R/W DIP, R/W payload).
 type Proxy struct {
-	self    netip.Addr
+	self netip.Addr
+	// self4 is self in packed form, compared against the packet-carried
+	// flow key without widening.
+	self4   [4]byte
 	origins []netip.Addr
 	proxied uint64
 	direct  uint64
@@ -30,7 +33,8 @@ func NewProxy(n int) (*Proxy, error) {
 	if n <= 0 {
 		n = 4
 	}
-	p := &Proxy{self: netip.MustParseAddr("10.50.0.1")}
+	self := netip.MustParseAddr("10.50.0.1")
+	p := &Proxy{self: self, self4: self.As4()}
 	for i := 0; i < n; i++ {
 		p.origins = append(p.origins, netip.AddrFrom4([4]byte{10, 60, byte(i >> 8), byte(i + 1)}))
 	}
@@ -46,15 +50,15 @@ func (x *Proxy) Profile() nfa.Profile { return profileFor(nfa.NFProxy) }
 // Process forwards proxy-addressed packets to a flow-stable origin and
 // stamps the payload; other traffic passes untouched.
 func (x *Proxy) Process(p *packet.Packet) Verdict {
-	k, err := flow.FromPacket(p)
+	fk, err := p.FlowKey()
 	if err != nil {
 		return Pass
 	}
-	if k.DstIP != x.self {
+	if fk.Dst != x.self4 {
 		x.direct++
 		return Pass
 	}
-	origin := x.origins[int(k.Hash()%uint64(len(x.origins)))]
+	origin := x.origins[int(fk.Hash()%uint64(len(x.origins)))]
 	p.SetDstIP(origin)
 	if pl := p.Payload(); len(pl) >= len(viaTag) {
 		copy(pl, viaTag)

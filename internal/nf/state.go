@@ -44,10 +44,11 @@ func (m *Monitor) ImportState(b []byte) error {
 		return fmt.Errorf("monitor: import: %w", err)
 	}
 	for _, fr := range st.Flows {
-		cur := m.counters[fr.Key]
+		fk := fr.Key.Packed()
+		cur := m.counters[fk]
 		if cur == nil {
 			cur = &FlowStats{}
-			m.counters[fr.Key] = cur
+			m.counters[fk] = cur
 		}
 		cur.Packets += fr.Stats.Packets
 		cur.Bytes += fr.Stats.Bytes
@@ -71,8 +72,10 @@ type natBindingDTO struct {
 // ExportState implements StatefulNF: the translation table.
 func (n *NAT) ExportState() ([]byte, error) {
 	st := natState{NextPort: n.nextPort}
-	for k, ext := range n.forward {
-		st.Bindings = append(st.Bindings, natBindingDTO{Flow: k, ExtPort: ext})
+	// The serialized form stays the widened flow.Key so exported state
+	// is readable across versions; the hot-path map is packed.
+	for fk, ext := range n.forward {
+		st.Bindings = append(st.Bindings, natBindingDTO{Flow: flow.FromPacked(fk), ExtPort: ext})
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
@@ -90,7 +93,8 @@ func (n *NAT) ImportState(b []byte) error {
 		return fmt.Errorf("nat: import: %w", err)
 	}
 	for _, bd := range st.Bindings {
-		if _, exists := n.forward[bd.Flow]; exists {
+		fk := bd.Flow.Packed()
+		if _, exists := n.forward[fk]; exists {
 			continue
 		}
 		if _, used := n.reverse[bd.ExtPort]; used {
@@ -99,11 +103,11 @@ func (n *NAT) ImportState(b []byte) error {
 			if port == 0 {
 				return fmt.Errorf("nat: import: port space exhausted")
 			}
-			n.forward[bd.Flow] = port
+			n.forward[fk] = port
 			n.reverse[port] = natBinding{addr: bd.Flow.SrcIP, port: bd.Flow.SrcPort}
 			continue
 		}
-		n.forward[bd.Flow] = bd.ExtPort
+		n.forward[fk] = bd.ExtPort
 		n.reverse[bd.ExtPort] = natBinding{addr: bd.Flow.SrcIP, port: bd.Flow.SrcPort}
 	}
 	if st.NextPort > n.nextPort {

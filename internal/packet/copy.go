@@ -27,6 +27,9 @@ func HeaderOnlyCopy(src, dst *Packet, version uint8) {
 	if err := dst.Parse(); err == nil {
 		dst.SetTotalLen(uint16(n - EthHeaderLen))
 	}
+	// Pre-warm the flow key alongside the layout: NFs sharing the copy
+	// in a no-copy group must never write either cache concurrently.
+	_, _ = dst.FlowKey()
 }
 
 // FullCopy copies the entire wire contents of src into dst and tags dst
@@ -35,7 +38,8 @@ func HeaderOnlyCopy(src, dst *Packet, version uint8) {
 func FullCopy(src, dst *Packet, version uint8) {
 	src.CloneInto(dst)
 	dst.Meta.Version = version
-	// Pre-parse so NFs sharing the copy never write the layout cache
-	// concurrently (they would race even on identical values).
+	// Pre-parse so NFs sharing the copy never write the layout or flow
+	// key cache concurrently (they would race even on identical values).
 	_ = dst.Parse()
+	_, _ = dst.FlowKey()
 }

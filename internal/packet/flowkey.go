@@ -1,0 +1,88 @@
+package packet
+
+// FlowKey is the compact, comparable 5-tuple the dataplane's fast path
+// keys on: packed 4-byte IPv4 addresses, host-order ports and the
+// effective L4 protocol (after AH, if present). Unlike flow.Key it
+// holds no netip.Addr, so comparing, hashing and storing it in maps
+// costs plain word operations — the form the classifier's microflow
+// cache, shard selection and per-flow NF tables want on the hot path.
+//
+// It is computed at most once per packet and cached on the Packet
+// beside the parsed layout (see Packet.FlowKey).
+type FlowKey struct {
+	Src, Dst         [4]byte
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// FNV-1a constants (the same ones flow.Key has always hashed with).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash returns the 64-bit FNV-1a hash of the 5-tuple. The byte order
+// (src, dst, sport, dport, proto — ports big-endian) and the fully
+// unrolled mixing are bit-identical to the historical flow.Key.Hash
+// closure loop, so ECMP backend choice and shard assignment are
+// unchanged; flow_test.go pins the values.
+func (k FlowKey) Hash() uint64 {
+	h := uint64(fnvOffset)
+	h = (h ^ uint64(k.Src[0])) * fnvPrime
+	h = (h ^ uint64(k.Src[1])) * fnvPrime
+	h = (h ^ uint64(k.Src[2])) * fnvPrime
+	h = (h ^ uint64(k.Src[3])) * fnvPrime
+	h = (h ^ uint64(k.Dst[0])) * fnvPrime
+	h = (h ^ uint64(k.Dst[1])) * fnvPrime
+	h = (h ^ uint64(k.Dst[2])) * fnvPrime
+	h = (h ^ uint64(k.Dst[3])) * fnvPrime
+	h = (h ^ uint64(k.SrcPort>>8)) * fnvPrime
+	h = (h ^ uint64(k.SrcPort&0xff)) * fnvPrime
+	h = (h ^ uint64(k.DstPort>>8)) * fnvPrime
+	h = (h ^ uint64(k.DstPort&0xff)) * fnvPrime
+	h = (h ^ uint64(k.Proto)) * fnvPrime
+	return h
+}
+
+// Reverse returns the key of the opposite direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{
+		Src: k.Dst, Dst: k.Src,
+		SrcPort: k.DstPort, DstPort: k.SrcPort,
+		Proto: k.Proto,
+	}
+}
+
+// SymmetricHash returns a direction-independent hash — A->B and B->A
+// map to the same value — by combining the ordered pair of the two
+// directional hashes. Bit-identical to flow.Key.SymmetricHash.
+func (k FlowKey) SymmetricHash() uint64 {
+	a, b := k.Hash(), k.Reverse().Hash()
+	if a > b {
+		a, b = b, a
+	}
+	return a*fnvPrime ^ b
+}
+
+// FlowKey returns the packet's packed 5-tuple. Parse computes and
+// caches it alongside the layout, so the classifier derives it once per
+// packet and the shard dispatcher plus every downstream NF reuse the
+// cached copy.
+//
+// The cache obeys the same sharing discipline as the layout cache: on a
+// parsed packet this is a pure read, so no-copy parallel groups sharing
+// a buffer never write it concurrently (the inject and copy paths warm
+// it up front). Tuple setters (SetSrcIP etc.) patch the cached key in
+// place, so a NAT rewrite is visible to downstream readers without a
+// recompute; structural edits go through Invalidate, which clears it
+// with the layout, and the editor's own next accessor re-parses both
+// back to warm before the packet is shared again.
+func (p *Packet) FlowKey() (FlowKey, error) {
+	if p.fkeyOK {
+		return p.fkey, nil
+	}
+	if err := p.Parse(); err != nil {
+		return FlowKey{}, err
+	}
+	return p.fkey, nil
+}

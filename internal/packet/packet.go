@@ -80,6 +80,12 @@ type Packet struct {
 
 	layout Layout // parsed header offsets; zero until Parse
 
+	// fkey caches the packed 5-tuple, valid only while fkeyOK is set
+	// (see FlowKey). Tuple setters patch it in place; Invalidate and
+	// Attach clear it with the layout.
+	fkey   FlowKey
+	fkeyOK bool
+
 	// Release returns the packet to its owning pool; set by the pool.
 	// May be nil for packets created outside a pool (tests, builders).
 	release func(*Packet)
@@ -105,6 +111,7 @@ func (p *Packet) Attach(buf []byte, wire int, release func(*Packet)) {
 	p.wire = wire
 	p.release = release
 	p.layout = Layout{}
+	p.fkeyOK = false
 	p.Nil = false
 }
 
@@ -146,6 +153,9 @@ func (p *Packet) CloneInto(dst *Packet) {
 	dst.Ingress = p.Ingress
 	dst.Nil = p.Nil
 	dst.layout = Layout{}
+	// The clone's bytes are p's bytes, so p's cached flow key (when
+	// warm) is the clone's too.
+	dst.fkey, dst.fkeyOK = p.fkey, p.fkeyOK
 }
 
 // String implements fmt.Stringer for debugging.

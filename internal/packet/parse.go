@@ -92,12 +92,33 @@ func (p *Packet) Parse() error {
 		// Unknown L4: everything after IP (and AH) is opaque payload.
 		lay.AppOff = next
 	}
+	// Warm the packed flow key together with the layout: the two caches
+	// share one lifecycle (Invalidate clears both, Parse fills both), so
+	// a packet whose layout is warm always has a warm key. That is what
+	// makes FlowKey a pure read on packets shared across no-copy
+	// parallel groups — any structural editor that Invalidates re-warms
+	// both through its own next accessor, inside single-owner context.
+	fk := FlowKey{
+		Src:   [4]byte(b[l3+12 : l3+16]),
+		Dst:   [4]byte(b[l3+16 : l3+20]),
+		Proto: lay.L4Proto,
+	}
+	if lay.L4Off >= 0 {
+		fk.SrcPort = binary.BigEndian.Uint16(b[lay.L4Off : lay.L4Off+2])
+		fk.DstPort = binary.BigEndian.Uint16(b[lay.L4Off+2 : lay.L4Off+4])
+	}
+	p.fkey = fk
+	p.fkeyOK = true
 	p.layout = lay
 	return nil
 }
 
-// Invalidate discards the cached layout; the next accessor re-parses.
-func (p *Packet) Invalidate() { p.layout = Layout{} }
+// Invalidate discards the cached layout and flow key; the next
+// accessor re-parses.
+func (p *Packet) Invalidate() {
+	p.layout = Layout{}
+	p.fkeyOK = false
+}
 
 // Layout returns the parsed layout, parsing on demand.
 func (p *Packet) Layout() (Layout, error) {
@@ -133,6 +154,9 @@ func (p *Packet) SetSrcIP(a netip.Addr) {
 	l := p.mustLayout()
 	b := a.As4()
 	copy(p.buf[l.L3Off+12:l.L3Off+16], b[:])
+	if p.fkeyOK {
+		p.fkey.Src = b
+	}
 	p.fixIPChecksum(l)
 }
 
@@ -141,6 +165,9 @@ func (p *Packet) SetDstIP(a netip.Addr) {
 	l := p.mustLayout()
 	b := a.As4()
 	copy(p.buf[l.L3Off+16:l.L3Off+20], b[:])
+	if p.fkeyOK {
+		p.fkey.Dst = b
+	}
 	p.fixIPChecksum(l)
 }
 
@@ -198,6 +225,9 @@ func (p *Packet) SetSrcPort(port uint16) {
 		return
 	}
 	binary.BigEndian.PutUint16(p.buf[l.L4Off:l.L4Off+2], port)
+	if p.fkeyOK {
+		p.fkey.SrcPort = port
+	}
 }
 
 // SetDstPort rewrites the TCP/UDP destination port.
@@ -207,6 +237,9 @@ func (p *Packet) SetDstPort(port uint16) {
 		return
 	}
 	binary.BigEndian.PutUint16(p.buf[l.L4Off+2:l.L4Off+4], port)
+	if p.fkeyOK {
+		p.fkey.DstPort = port
+	}
 }
 
 // Payload returns the application payload bytes (may be empty).

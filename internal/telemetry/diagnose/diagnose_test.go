@@ -359,3 +359,34 @@ func getJSON(t *testing.T, url string, into any) {
 		t.Fatalf("decode %s: %v", url, err)
 	}
 }
+
+func TestClassifierCacheDiag(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	d := New(Config{Registry: reg})
+	d.sampleAt(time.Unix(100, 0))
+	d.sampleAt(time.Unix(101, 0))
+	if rep := d.Report(); rep.Classifier != nil {
+		t.Fatalf("cache-disabled report has classifier section: %+v", rep.Classifier)
+	}
+
+	reg.Counter(metricCacheHits).Add(900)
+	reg.Counter(metricCacheMisses).Add(100)
+	reg.Counter(metricCacheEvicts).Add(10)
+	d2 := New(Config{Registry: reg})
+	d2.sampleAt(time.Unix(200, 0))
+	reg.Counter(metricCacheHits).Add(900)
+	reg.Counter(metricCacheMisses).Add(100)
+	reg.Counter(metricCacheEvicts).Add(10)
+	d2.sampleAt(time.Unix(202, 0))
+	cd := d2.Report().Classifier
+	if cd == nil {
+		t.Fatal("cache-enabled report missing classifier section")
+	}
+	if cd.CacheHitPPS != 450 || cd.CacheMissPPS != 50 || cd.CacheEvictPPS != 5 {
+		t.Fatalf("rates = %.1f/%.1f/%.1f, want 450/50/5",
+			cd.CacheHitPPS, cd.CacheMissPPS, cd.CacheEvictPPS)
+	}
+	if cd.CacheHitRate != 0.9 {
+		t.Fatalf("hit rate = %v, want 0.9", cd.CacheHitRate)
+	}
+}

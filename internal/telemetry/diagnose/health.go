@@ -86,15 +86,31 @@ type ChainSLO struct {
 	Met         bool    `json:"met"`
 }
 
+// ClassifierDiag is the windowed view of the classifier's microflow
+// cache. HitRate near 1 means steady-state flows ride the exact-match
+// fast path and rule-table size is off the per-packet critical path; a
+// persistently low rate with high EvictPPS means the live flow count
+// exceeds the cache (raise -flow-cache-size), while a low rate with
+// near-zero evictions points at churn — every table mutation
+// invalidates all entries, so constant rule updates keep the cache
+// cold.
+type ClassifierDiag struct {
+	CacheHitPPS   float64 `json:"cache_hit_pps"`
+	CacheMissPPS  float64 `json:"cache_miss_pps"`
+	CacheEvictPPS float64 `json:"cache_evict_pps"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+}
+
 // HealthReport is the /debug/health document: the machine-readable
 // verdict the ROADMAP autoscaler consumes.
 type HealthReport struct {
-	State         string     `json:"state"`
-	Reasons       []string   `json:"reasons,omitempty"`
-	WindowSeconds float64    `json:"window_seconds"`
-	Samples       int        `json:"samples"`
-	Bottlenecks   []NFDiag   `json:"bottlenecks"` // ranked by ρ, descending
-	SLO           []ChainSLO `json:"slo,omitempty"`
+	State         string          `json:"state"`
+	Reasons       []string        `json:"reasons,omitempty"`
+	WindowSeconds float64         `json:"window_seconds"`
+	Samples       int             `json:"samples"`
+	Bottlenecks   []NFDiag        `json:"bottlenecks"` // ranked by ρ, descending
+	SLO           []ChainSLO      `json:"slo,omitempty"`
+	Classifier    *ClassifierDiag `json:"classifier,omitempty"` // nil when the flow cache is disabled
 }
 
 // Report computes the current diagnosis from the retained window. With
@@ -116,8 +132,37 @@ func (d *Diagnoser) Report() HealthReport {
 
 	rep.Bottlenecks = d.rankNFs(oldest, newest, elapsed)
 	rep.SLO = d.evalSLO(oldest, newest)
+	rep.Classifier = classifierDiag(oldest, newest, elapsed)
 	rep.State, rep.Reasons = d.judge(oldest, newest, rep)
 	return rep
+}
+
+// classifierDiag derives the microflow-cache view from the window's
+// counter deltas. A server with the cache disabled never registers the
+// series, so the section is omitted rather than reported as all-zero.
+func classifierDiag(oldest, newest sample, elapsed float64) *ClassifierDiag {
+	present := false
+	for _, c := range newest.snap.Counters {
+		if c.Name == metricCacheHits {
+			present = true
+			break
+		}
+	}
+	if !present {
+		return nil
+	}
+	hits := newest.snap.SumCounters(metricCacheHits) - oldest.snap.SumCounters(metricCacheHits)
+	misses := newest.snap.SumCounters(metricCacheMisses) - oldest.snap.SumCounters(metricCacheMisses)
+	evicts := newest.snap.SumCounters(metricCacheEvicts) - oldest.snap.SumCounters(metricCacheEvicts)
+	cd := &ClassifierDiag{
+		CacheHitPPS:   float64(hits) / elapsed,
+		CacheMissPPS:  float64(misses) / elapsed,
+		CacheEvictPPS: float64(evicts) / elapsed,
+	}
+	if hits+misses > 0 {
+		cd.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	return cd
 }
 
 // rankNFs builds the per-NF diagnosis, ranked by ρ descending.

@@ -33,6 +33,9 @@ const (
 	metricRingSheds    = "nfp_ring_sheds_total"
 	metricDrops        = "nfp_drops_total"
 	metricE2ELatency   = "nfp_e2e_latency_ns"
+	metricCacheHits    = "nfp_classifier_cache_hits_total"
+	metricCacheMisses  = "nfp_classifier_cache_misses_total"
+	metricCacheEvicts  = "nfp_classifier_cache_evictions_total"
 )
 
 // Gauges the diagnoser exports back into the registry (created with
